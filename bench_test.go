@@ -1,0 +1,256 @@
+package esgrid_test
+
+// One benchmark per paper table/figure and per DESIGN.md experiment.
+// Each runs a scaled configuration of the corresponding experiment and
+// reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every row the paper reports (EXPERIMENTS.md records the
+// full-scale paper-vs-measured comparison produced by cmd/esgbench).
+
+import (
+	"testing"
+	"time"
+
+	esgrid "esgrid"
+	"esgrid/internal/climate"
+	"esgrid/internal/experiments"
+)
+
+// BenchmarkTable1 regenerates Table 1 (SC'00 striped transfer) at a
+// 5-minute metered window per iteration.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.DefaultTable1Config()
+	cfg.Duration = 5 * time.Minute
+	var last experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(2000 + i)
+		r, err := experiments.RunTable1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.PeakBps100ms/1e9, "peak0.1s-Gb/s")
+	b.ReportMetric(last.PeakBps5s/1e9, "peak5s-Gb/s")
+	b.ReportMetric(last.SustainedBps/1e6, "sustained-Mb/s")
+	b.ReportMetric(last.TotalBytes/1e9*12, "GB-per-hour") // scale 5 min -> 1 h
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (14-hour reliability run) at a
+// 2-hour window per iteration.
+func BenchmarkFigure8(b *testing.B) {
+	cfg := experiments.DefaultFigure8Config()
+	cfg.Duration = 2 * time.Hour
+	var last experiments.Figure8Result
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(7 + i)
+		r, err := experiments.RunFigure8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.MeanBps/1e6, "mean-Mb/s")
+	b.ReportMetric(last.PlateauBps/1e6, "plateau-Mb/s")
+	b.ReportMetric(float64(last.Restarts), "restarts")
+}
+
+// BenchmarkChannelCachingAblation regenerates F8b: data channel caching
+// vs the SC'00 teardown-per-transfer behaviour.
+func BenchmarkChannelCachingAblation(b *testing.B) {
+	var last experiments.ChannelCacheResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunChannelCache(int64(1+i), 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ColdBps/1e6, "cold-Mb/s")
+	b.ReportMetric(last.WarmBps/1e6, "warm-Mb/s")
+	b.ReportMetric(last.WarmBps/last.ColdBps, "speedup-x")
+}
+
+// BenchmarkParallelStreams regenerates S1: aggregate bandwidth vs number
+// of parallel TCP streams on a lossy WAN (§6.1).
+func BenchmarkParallelStreams(b *testing.B) {
+	var last experiments.ParallelSweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunParallelSweep(int64(1+i), 64, []int{1, 2, 4, 8, 16}, 3e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.LossyBps[0]/1e6, "1stream-Mb/s")
+	b.ReportMetric(last.LossyBps[3]/1e6, "8streams-Mb/s")
+}
+
+// BenchmarkBufferSweep regenerates S2: throughput vs TCP buffer size
+// (bandwidth x delay tuning, §7).
+func BenchmarkBufferSweep(b *testing.B) {
+	var last experiments.BufferSweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBufferSweep(int64(1+i), 64, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Bps[0][1]/1e6, "16KB-20ms-Mb/s")
+	b.ReportMetric(last.Bps[len(last.Bps)-1][1]/1e6, "4MB-20ms-Mb/s")
+}
+
+// BenchmarkStripeSweep regenerates S3: striped transfer scaling (§6.1).
+func BenchmarkStripeSweep(b *testing.B) {
+	var last experiments.StripeSweepResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunStripeSweep(int64(1+i), 128, []int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Bps[0]/1e6, "1stripe-Mb/s")
+	b.ReportMetric(last.Bps[3]/1e6, "8stripes-Mb/s")
+}
+
+// BenchmarkReplicaSelection regenerates S4: NWS-based vs random vs static
+// replica selection (§4/§5).
+func BenchmarkReplicaSelection(b *testing.B) {
+	var last experiments.ReplicaSelResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunReplicaSelection(int64(1+i), 6, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Elapsed[0].Seconds(), "nws-s")
+	b.ReportMetric(last.Elapsed[1].Seconds(), "random-s")
+	b.ReportMetric(last.Elapsed[2].Seconds(), "static-s")
+}
+
+// BenchmarkConcurrentSites regenerates S5: concurrent multi-site fetch
+// aggregation (§4).
+func BenchmarkConcurrentSites(b *testing.B) {
+	var last experiments.MultiSiteResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMultiSite(int64(1+i), 4, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.SingleBps/1e6, "1site-Mb/s")
+	b.ReportMetric(last.SpreadBps/1e6, "4sites-Mb/s")
+}
+
+// BenchmarkHRMStaging regenerates S6: tape staging cost vs disk cache
+// size (§4).
+func BenchmarkHRMStaging(b *testing.B) {
+	var last experiments.HRMStagingResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunHRMStaging(int64(1+i), 120)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.HitRate[0], "hit%-8GB")
+	b.ReportMetric(100*last.HitRate[len(last.HitRate)-1], "hit%-128GB")
+}
+
+// BenchmarkLargeFile regenerates S7: 64-bit offsets vs the 2 GB limit
+// (§7).
+func BenchmarkLargeFile(b *testing.B) {
+	var last experiments.LargeFileResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunLargeFile(int64(1+i), 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.SingleBps/1e6, "single-Mb/s")
+	b.ReportMetric(last.ChunkedBps/1e6, "chunked-Mb/s")
+}
+
+// BenchmarkCPUModel regenerates S8: interrupt coalescing ablation (§7).
+func BenchmarkCPUModel(b *testing.B) {
+	var last experiments.CPUModelResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCPUModel(int64(1+i), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Bps[0]/1e6, "no-coalesce-Mb/s")
+	b.ReportMetric(last.Bps[2]/1e6, "coalesce16-Mb/s")
+}
+
+// BenchmarkForecasters regenerates S9: NWS forecaster accuracy (§5).
+func BenchmarkForecasters(b *testing.B) {
+	var last experiments.ForecasterResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunForecasters(int64(1+i), 4000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.NMAE[0], "last-nmae")
+	b.ReportMetric(last.NMAE[len(last.NMAE)-1], "adaptive-nmae")
+}
+
+// BenchmarkEndToEndDemo regenerates the Figures 2-4 demonstration flow on
+// the Figure 1 testbed: metadata query -> RM -> GridFTP -> monitor.
+func BenchmarkEndToEndDemo(b *testing.B) {
+	var elapsed time.Duration
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		tb, err := esgrid.NewTestbed(esgrid.TestbedConfig{Seed: int64(42 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(func() {
+			t0 := tb.Clock.Now()
+			req, err := tb.Fetch(esgrid.Query{
+				Dataset:   "pcm-b06.44",
+				Variables: []string{climate.VarTemperature},
+				From:      esgrid.Month(1998, 6),
+				To:        esgrid.Month(1998, 8),
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if err := req.Wait(); err != nil {
+				b.Error(err)
+				return
+			}
+			elapsed = tb.Clock.Now().Sub(t0)
+			bytes = req.TotalReceived()
+		})
+	}
+	b.ReportMetric(elapsed.Seconds(), "virtual-s")
+	b.ReportMetric(float64(bytes)/1e9, "GB-moved")
+}
+
+// BenchmarkServerSideSubset regenerates S10: ESG-II / DODS-style
+// server-side subsetting (§9 future work, implemented here).
+func BenchmarkServerSideSubset(b *testing.B) {
+	var last experiments.SubsetResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunSubset(int64(1 + i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(100*last.BytesSaved, "bytes-saved-%")
+	b.ReportMetric(last.SpeedupTotal, "speedup-x")
+}

@@ -1,0 +1,147 @@
+// Command esgcp is the GridFTP client: the reproduction's globus-url-copy.
+//
+// Usage:
+//
+//	esgcp [flags] size host:port path
+//	esgcp [flags] get  host:port remote-path local-path
+//	esgcp [flags] put  host:port local-path remote-path
+//	esgcp [flags] 3pt  srcHost:port srcPath dstHost:port dstPath
+//
+// Flags: -P parallel streams, -sbuf socket buffer bytes, -cache keep data
+// channels across transfers, -cred/-trust GSI files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"esgrid/internal/gridftp"
+	"esgrid/internal/gsi"
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+func main() {
+	parallel := flag.Int("P", 4, "parallel TCP streams")
+	sbuf := flag.Int("sbuf", 1<<20, "socket buffer bytes (0 = OS default)")
+	cache := flag.Bool("cache", false, "cache data channels across transfers")
+	credPath := flag.String("cred", "", "identity file for GSI authentication")
+	trustPath := flag.String("trust", "", "trust anchor file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 3 {
+		usage()
+	}
+
+	var auth *gsi.Config
+	if *credPath != "" {
+		id, err := gsi.LoadIdentity(*credPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trust, err := gsi.LoadTrustStore(*trustPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auth = &gsi.Config{Identity: id, Trust: trust}
+	}
+	dial := func(addr string) *gridftp.Client {
+		c, err := gridftp.Dial(gridftp.ClientConfig{
+			Clock:             vtime.Real{},
+			Net:               transport.Real{},
+			Auth:              auth,
+			Parallelism:       *parallel,
+			BufferBytes:       *sbuf,
+			CacheDataChannels: *cache,
+		}, addr)
+		if err != nil {
+			log.Fatalf("esgcp: connect %s: %v", addr, err)
+		}
+		return c
+	}
+
+	switch args[0] {
+	case "size":
+		c := dial(args[1])
+		defer c.Close()
+		n, err := c.Size(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(n)
+	case "get":
+		if len(args) != 4 {
+			usage()
+		}
+		c := dial(args[1])
+		defer c.Close()
+		size, err := c.Size(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		store := gridftp.NewDirStore(filepath.Dir(args[3]))
+		sink, err := store.Create(filepath.Base(args[3]), size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		st, err := c.Get(args[2], sink)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sink.Complete(); err != nil {
+			log.Fatal(err)
+		}
+		report("get", st.Bytes, time.Since(t0), st.Streams)
+	case "put":
+		if len(args) != 4 {
+			usage()
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := dial(args[1])
+		defer c.Close()
+		t0 := time.Now()
+		st, err := c.Put(args[3], gridftp.NewBytesSource(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("put", st.Bytes, time.Since(t0), st.Streams)
+	case "3pt":
+		if len(args) != 5 {
+			usage()
+		}
+		src := dial(args[1])
+		defer src.Close()
+		dst := dial(args[3])
+		defer dst.Close()
+		t0 := time.Now()
+		st, err := gridftp.ThirdParty(src, dst, args[2], args[4])
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("third-party", st.Bytes, time.Since(t0), st.Streams)
+	default:
+		usage()
+	}
+}
+
+func report(op string, bytes int64, d time.Duration, streams int) {
+	rate := float64(bytes) * 8 / d.Seconds() / 1e6
+	fmt.Printf("%s: %d bytes in %v over %d stream(s) = %.1f Mb/s\n", op, bytes, d.Round(time.Millisecond), streams, rate)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  esgcp [flags] size host:port path
+  esgcp [flags] get  host:port remote-path local-path
+  esgcp [flags] put  host:port local-path remote-path
+  esgcp [flags] 3pt  srcHost:port srcPath dstHost:port dstPath`)
+	os.Exit(2)
+}

@@ -1,0 +1,114 @@
+// Command esgd is a real-TCP ESG site daemon: a GridFTP server exporting
+// a directory tree, with optional GSI authentication.
+//
+// Usage:
+//
+//	esgd -addr :2811 -root /data/esg [-ca ca.json -id server.json -trust ca.pub.json]
+//	esgd -newca ca.json -capub ca.pub.json            # create a demo CA
+//	esgd -issue "/CN=alice" -ca ca.json -out alice.json
+//
+// A two-node demo:
+//
+//	esgd -newca ca.json -capub ca.pub.json
+//	esgd -issue "/CN=server" -ca ca.json -out server.json
+//	esgd -issue "/CN=alice"  -ca ca.json -out alice.json
+//	esgd -addr :2811 -root /srv/esg -id server.json -trust ca.pub.json &
+//	esgcp -cred alice.json -trust ca.pub.json size localhost:2811 pcm.tas.1998-01.nc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"esgrid/internal/gridftp"
+	"esgrid/internal/gsi"
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+func main() {
+	addr := flag.String("addr", ":2811", "listen address")
+	root := flag.String("root", ".", "directory tree to export")
+	host := flag.String("host", "127.0.0.1", "advertised hostname for passive-mode replies")
+	idPath := flag.String("id", "", "server identity file (enables GSI authentication)")
+	trustPath := flag.String("trust", "", "trust anchor file (required with -id)")
+	newCA := flag.String("newca", "", "create a new demo CA at this path and exit")
+	caPub := flag.String("capub", "ca.pub.json", "with -newca: where to write the trust anchor")
+	caPath := flag.String("ca", "", "with -issue: CA file to sign with")
+	issue := flag.String("issue", "", "issue an identity for this subject and exit")
+	out := flag.String("out", "identity.json", "with -issue: output identity file")
+	ttl := flag.Duration("ttl", 30*24*time.Hour, "with -issue: credential lifetime")
+	flag.Parse()
+
+	switch {
+	case *newCA != "":
+		ca, err := gsi.NewCA("ESG-Demo-CA")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gsi.SaveCA(ca, *newCA); err != nil {
+			log.Fatal(err)
+		}
+		if err := gsi.SaveTrustAnchor(ca.Name, ca.PublicKey(), *caPub); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("created CA %q: signing key %s, trust anchor %s\n", ca.Name, *newCA, *caPub)
+		return
+	case *issue != "":
+		if *caPath == "" {
+			log.Fatal("esgd: -issue requires -ca")
+		}
+		ca, err := gsi.LoadCA(*caPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id, err := ca.Issue(*issue, time.Now(), *ttl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gsi.SaveIdentity(id, *out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("issued %q valid %s: %s\n", *issue, *ttl, *out)
+		return
+	}
+
+	var auth *gsi.Config
+	if *idPath != "" {
+		if *trustPath == "" {
+			log.Fatal("esgd: -id requires -trust")
+		}
+		id, err := gsi.LoadIdentity(*idPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trust, err := gsi.LoadTrustStore(*trustPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		auth = &gsi.Config{Identity: id, Trust: trust}
+	}
+
+	srv, err := gridftp.NewServer(gridftp.Config{
+		Clock: vtime.Real{},
+		Net:   transport.Real{},
+		Host:  *host,
+		Store: gridftp.NewDirStore(*root),
+		Auth:  auth,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := (transport.Real{}).Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	secured := "unauthenticated"
+	if auth != nil {
+		secured = "GSI-authenticated"
+	}
+	log.Printf("esgd: serving %s on %s (%s)", *root, l.Addr(), secured)
+	srv.Serve(l)
+}

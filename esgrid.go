@@ -1,0 +1,74 @@
+// Package esgrid is a from-scratch Go reproduction of the Earth System
+// Grid prototype described in "High-Performance Remote Access to Climate
+// Simulation Data: A Challenge Problem for Data Grid Technologies"
+// (Allcock et al., SC2001).
+//
+// The package wires the paper's components — metadata catalog (CDMS),
+// replica catalog, Network Weather Service, MDS information service,
+// GridFTP (parallel, striped, restartable, cached data channels), the
+// LBNL request manager, HRM tape staging, GSI security — into a runnable
+// testbed over a deterministic virtual-time WAN simulator, so the SC'00
+// experiments (Table 1, Figure 8) replay in milliseconds.
+//
+// Quick start:
+//
+//	tb, err := esgrid.NewTestbed(esgrid.TestbedConfig{Seed: 1})
+//	...
+//	tb.Run(func() {
+//	    req, err := tb.Fetch(esgrid.Query{
+//	        Dataset:   "pcm-b06.44",
+//	        Variables: []string{"tas"},
+//	        From:      esgrid.Month(1998, 1),
+//	        To:        esgrid.Month(1998, 3),
+//	    })
+//	    ...
+//	    err = req.Wait()
+//	    fmt.Println(esgrid.RenderMonitor(req, 80))
+//	})
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduction of every table and figure.
+package esgrid
+
+import (
+	"time"
+
+	"esgrid/internal/analysis"
+	"esgrid/internal/gridftp"
+	"esgrid/internal/metadata"
+	"esgrid/internal/rm"
+)
+
+// Query selects data by application attributes, as the VCDAT browser of
+// Figure 2 does.
+type Query = metadata.Query
+
+// Request is a submitted multi-file transfer request.
+type Request = rm.Request
+
+// FileStatus is one row of the transfer monitor.
+type FileStatus = rm.FileStatus
+
+// Field is a 2D extracted climate field.
+type Field = analysis.Field
+
+// TransferStats summarizes a GridFTP transfer.
+type TransferStats = gridftp.TransferStats
+
+// Policy selects among replica candidates.
+type Policy = rm.Policy
+
+// Replica selection policies.
+const (
+	PolicyNWS    = rm.PolicyNWS
+	PolicyRandom = rm.PolicyRandom
+	PolicyFirst  = rm.PolicyFirst
+)
+
+// RenderMonitor draws the Figure 4 style transfer monitor.
+func RenderMonitor(r *Request, width int) string { return rm.RenderMonitor(r, width) }
+
+// Month returns the first instant of a (year, month) in UTC.
+func Month(year, month int) time.Time {
+	return time.Date(year, time.Month(month), 1, 0, 0, 0, 0, time.UTC)
+}

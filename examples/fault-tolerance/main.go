@@ -1,0 +1,43 @@
+// Fault tolerance: a compressed replay of Figure 8's story. Repeated
+// 2 GB transfers over a flaky commodity path survive a power failure, a
+// DNS outage and a backbone slowdown via GridFTP's restartable transfers,
+// and the post-SC'00 data-channel caching removes the inter-transfer
+// dips.
+//
+//	go run ./examples/fault-tolerance
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"esgrid/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultFigure8Config()
+	cfg.Duration = 3 * time.Hour
+	cfg.ParallelismSchedule = []int{1, 2, 4, 8}
+	cfg.Bucket = 2 * time.Minute
+
+	fmt.Println("== repeated 2 GB transfers across outages (Figure 8, compressed to 3h) ==")
+	r, err := experiments.RunFigure8(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.Table("run summary:", r.Rows()))
+	fmt.Println()
+	fmt.Println(r.Plot(100, 12))
+	fmt.Println("note the outage gaps (power failure, DNS, backbone) and the")
+	fmt.Println("parallelism steps lifting the plateau toward the ~80 Mb/s disk limit.")
+
+	fmt.Println("\n== ablation: data channel caching (the post-SC'00 fix) ==")
+	cc, err := experiments.RunChannelCache(7, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.Table("12 back-to-back 64 MB transfers, 60 ms RTT:", cc.Rows()))
+	fmt.Println("\nwithout caching every transfer pays connection setup, GSI and TCP")
+	fmt.Println("slow start again — the 'frequent drop in bandwidth' of Figure 8.")
+}

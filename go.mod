@@ -1,0 +1,3 @@
+module esgrid
+
+go 1.22

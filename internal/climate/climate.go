@@ -1,0 +1,227 @@
+// Package climate generates synthetic climate-model output standing in
+// for the PCMDI simulation archives the paper analyses (§1: a
+// high-resolution ocean model producing "a dozen multi-gigabyte files in
+// a few hours"; §3: datasets of thousands of netCDF files).
+//
+// Fields are deterministic smooth functions of (time, lat, lon) with
+// seasonal cycles, latitudinal gradients, storm-track noise and
+// per-variable character, so visualizations and statistics look like
+// climate data and regenerating a file always yields identical bytes.
+// Real cdf files stay small (coarse grids); the catalog records the
+// *logical* sizes of the multi-gigabyte originals so transfer experiments
+// move realistic volumes through the virtual payload path.
+package climate
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"esgrid/internal/cdf"
+)
+
+// Variable names produced by the generator, mirroring CMIP-style ids.
+const (
+	VarTemperature   = "tas" // near-surface air temperature, K
+	VarPrecipitation = "pr"  // precipitation rate, mm/day
+	VarCloudCover    = "clt" // total cloud fraction, %
+)
+
+// AllVariables lists the generated variables with descriptions, as the
+// VCDAT browser shows them (Figure 2).
+func AllVariables() map[string]string {
+	return map[string]string{
+		VarTemperature:   "near-surface air temperature (K)",
+		VarPrecipitation: "precipitation rate (mm/day)",
+		VarCloudCover:    "total cloud fraction (%)",
+	}
+}
+
+// GridSpec describes the output grid.
+type GridSpec struct {
+	NLat, NLon int
+	// StepsPerMonth is the number of time records per monthly file.
+	StepsPerMonth int
+}
+
+// DefaultGrid is a coarse T21-ish grid keeping real files small.
+var DefaultGrid = GridSpec{NLat: 32, NLon: 64, StepsPerMonth: 8}
+
+// Model generates output for one named model run.
+type Model struct {
+	Name string
+	Grid GridSpec
+	seed uint64
+}
+
+// NewModel returns a generator for the given model name; fields derive
+// deterministically from the name.
+func NewModel(name string, grid GridSpec) *Model {
+	var seed uint64 = 1469598103934665603
+	for _, c := range name {
+		seed ^= uint64(c)
+		seed *= 1099511628211
+	}
+	return &Model{Name: name, Grid: grid, seed: seed}
+}
+
+// hash provides deterministic pseudo-noise in [-1, 1).
+func (m *Model) hash(a, b, c int) float64 {
+	x := m.seed ^ uint64(a)*2654435761 ^ uint64(b)*40503 ^ uint64(c)*2246822519
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x%2000000)/1000000 - 1
+}
+
+// Temperature returns tas in Kelvin at fractional year t (e.g. 1998.5),
+// latitude deg (-90..90), longitude deg (0..360).
+func (m *Model) Temperature(t, lat, lon float64) float64 {
+	season := math.Cos(2 * math.Pi * (t - math.Floor(t)))
+	// Warmer at the equator; seasonal swing grows with |lat|, opposite
+	// phase by hemisphere; land/sea-like zonal structure.
+	base := 288 - 35*math.Pow(math.Abs(lat)/90, 1.5)
+	seasonal := -12 * season * (lat / 90)
+	zonal := 3 * math.Sin(3*lon*math.Pi/180+lat/20)
+	noise := 1.5 * m.hash(int(t*1460), int(lat*10), int(lon*10))
+	return base + seasonal + zonal + noise
+}
+
+// Precipitation returns pr in mm/day.
+func (m *Model) Precipitation(t, lat, lon float64) float64 {
+	itcz := 8 * math.Exp(-math.Pow((lat-5*math.Sin(2*math.Pi*t))/8, 2))
+	storm := 3 * math.Exp(-math.Pow((math.Abs(lat)-45)/12, 2))
+	zonal := 1 + 0.5*math.Sin(5*lon*math.Pi/180)
+	noise := 0.8 * (1 + m.hash(int(t*1460)+7, int(lat*10), int(lon*10)))
+	v := (itcz+storm)*zonal + noise
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// CloudCover returns clt in percent.
+func (m *Model) CloudCover(t, lat, lon float64) float64 {
+	pr := m.Precipitation(t, lat, lon)
+	v := 30 + 6*pr + 10*m.hash(int(t*1460)+13, int(lat*10), int(lon*10))
+	if v < 0 {
+		v = 0
+	}
+	if v > 100 {
+		v = 100
+	}
+	return v
+}
+
+// value dispatches by variable name.
+func (m *Model) value(varName string, t, lat, lon float64) (float64, error) {
+	switch varName {
+	case VarTemperature:
+		return m.Temperature(t, lat, lon), nil
+	case VarPrecipitation:
+		return m.Precipitation(t, lat, lon), nil
+	case VarCloudCover:
+		return m.CloudCover(t, lat, lon), nil
+	}
+	return 0, fmt.Errorf("climate: unknown variable %q", varName)
+}
+
+// FileName returns the canonical logical file name for a model, variable
+// and month, e.g. "pcm.tas.1998-03.nc".
+func FileName(model, varName string, year, month int) string {
+	return fmt.Sprintf("%s.%s.%04d-%02d.nc", model, varName, year, month)
+}
+
+// MonthlyFile materializes the cdf dataset for one variable-month.
+func (m *Model) MonthlyFile(varName string, year, month int) (*cdf.File, error) {
+	g := m.Grid
+	f := cdf.New()
+	f.Attrs["model"] = m.Name
+	f.Attrs["institution"] = "PCMDI (synthetic reproduction)"
+	f.Attrs["variable"] = varName
+	f.Attrs["period"] = fmt.Sprintf("%04d-%02d", year, month)
+	if err := f.AddDim("time", g.StepsPerMonth); err != nil {
+		return nil, err
+	}
+	if err := f.AddDim("lat", g.NLat); err != nil {
+		return nil, err
+	}
+	if err := f.AddDim("lon", g.NLon); err != nil {
+		return nil, err
+	}
+	lats := make([]float64, g.NLat)
+	for i := range lats {
+		lats[i] = -90 + 180*(float64(i)+0.5)/float64(g.NLat)
+	}
+	lons := make([]float64, g.NLon)
+	for i := range lons {
+		lons[i] = 360 * float64(i) / float64(g.NLon)
+	}
+	times := make([]float64, g.StepsPerMonth)
+	t0 := float64(year) + (float64(month)-1)/12
+	for i := range times {
+		times[i] = t0 + float64(i)/(12*float64(g.StepsPerMonth))
+	}
+	if err := f.AddVar("lat", cdf.Float64, []string{"lat"}, map[string]string{"units": "degrees_north"}, lats); err != nil {
+		return nil, err
+	}
+	if err := f.AddVar("lon", cdf.Float64, []string{"lon"}, map[string]string{"units": "degrees_east"}, lons); err != nil {
+		return nil, err
+	}
+	if err := f.AddVar("time", cdf.Float64, []string{"time"}, map[string]string{"units": "fractional_year"}, times); err != nil {
+		return nil, err
+	}
+	data := make([]float64, g.StepsPerMonth*g.NLat*g.NLon)
+	i := 0
+	for _, t := range times {
+		for _, la := range lats {
+			for _, lo := range lons {
+				v, err := m.value(varName, t, la, lo)
+				if err != nil {
+					return nil, err
+				}
+				data[i] = v
+				i++
+			}
+		}
+	}
+	units := map[string]string{VarTemperature: "K", VarPrecipitation: "mm/day", VarCloudCover: "%"}
+	if err := f.AddVar(varName, cdf.Float32, []string{"time", "lat", "lon"},
+		map[string]string{"units": units[varName], "long_name": AllVariables()[varName]}, data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// LogicalSizeBytes is the size the catalog advertises for a monthly file:
+// the size the paper's high-resolution original would have, not the size
+// of our coarse-grid stand-in. A dozen multi-gigabyte files in a few
+// hours (§1) works out to roughly 2 GB per variable-month at the eddy-
+// resolving resolution.
+func LogicalSizeBytes(varName string) int64 {
+	switch varName {
+	case VarTemperature:
+		return 2146435072 // just under 2^31: the pre-64-bit GridFTP limit
+	case VarPrecipitation:
+		return 1879048192
+	case VarCloudCover:
+		return 1610612736
+	}
+	return 1 << 30
+}
+
+// MonthsBetween enumerates (year, month) pairs over [from, to] inclusive.
+func MonthsBetween(from, to time.Time) [][2]int {
+	var out [][2]int
+	y, mo := from.Year(), int(from.Month())
+	for {
+		out = append(out, [2]int{y, mo})
+		if y == to.Year() && mo == int(to.Month()) {
+			return out
+		}
+		mo++
+		if mo > 12 {
+			mo, y = 1, y+1
+		}
+	}
+}

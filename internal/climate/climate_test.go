@@ -1,0 +1,163 @@
+package climate
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"esgrid/internal/cdf"
+)
+
+func TestTemperaturePhysicallyPlausible(t *testing.T) {
+	m := NewModel("pcm", DefaultGrid)
+	for _, tc := range []struct {
+		lat      float64
+		min, max float64
+	}{
+		{0, 270, 310},   // tropics
+		{80, 210, 285},  // arctic
+		{-80, 210, 285}, // antarctic
+	} {
+		for _, tm := range []float64{1998.0, 1998.25, 1998.5, 1998.75} {
+			v := m.Temperature(tm, tc.lat, 120)
+			if v < tc.min || v > tc.max {
+				t.Errorf("tas(lat=%v, t=%v) = %.1f K, want in [%v, %v]", tc.lat, tm, v, tc.min, tc.max)
+			}
+		}
+	}
+	// Tropics warmer than poles, always.
+	if m.Temperature(1998.5, 0, 0) <= m.Temperature(1998.5, 85, 0) {
+		t.Error("equator not warmer than pole")
+	}
+}
+
+func TestSeasonalCycleOppositeHemispheres(t *testing.T) {
+	m := NewModel("pcm", DefaultGrid)
+	// January vs July at 60N and 60S, averaged over longitude to suppress
+	// the zonal structure and noise.
+	mean := func(tm, lat float64) float64 {
+		var s float64
+		for lon := 0.0; lon < 360; lon += 5 {
+			s += m.Temperature(tm, lat, lon)
+		}
+		return s / 72
+	}
+	nJan, nJul := mean(1998.0, 60), mean(1998.5, 60)
+	sJan, sJul := mean(1998.0, -60), mean(1998.5, -60)
+	if nJul <= nJan {
+		t.Errorf("northern summer (%.1f) not warmer than winter (%.1f)", nJul, nJan)
+	}
+	if sJan <= sJul {
+		t.Errorf("southern summer (%.1f) not warmer than winter (%.1f)", sJan, sJul)
+	}
+}
+
+func TestPrecipitationNonNegativeWithITCZ(t *testing.T) {
+	m := NewModel("pcm", DefaultGrid)
+	var eq, subtrop float64
+	for lon := 0.0; lon < 360; lon += 5 {
+		eq += m.Precipitation(1998.2, 5, lon)
+		subtrop += m.Precipitation(1998.2, 25, lon)
+		if v := m.Precipitation(1998.2, 25, lon); v < 0 {
+			t.Fatalf("negative precipitation %v", v)
+		}
+	}
+	if eq <= subtrop {
+		t.Errorf("ITCZ precip (%.1f) not above subtropical dry zone (%.1f)", eq, subtrop)
+	}
+}
+
+func TestCloudCoverBounds(t *testing.T) {
+	m := NewModel("pcm", DefaultGrid)
+	for lat := -90.0; lat <= 90; lat += 15 {
+		for lon := 0.0; lon < 360; lon += 30 {
+			v := m.CloudCover(1998.9, lat, lon)
+			if v < 0 || v > 100 {
+				t.Fatalf("clt(lat=%v, lon=%v) = %v, want 0..100", lat, lon, v)
+			}
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a := NewModel("pcm", DefaultGrid)
+	b := NewModel("pcm", DefaultGrid)
+	fa, err := a.MonthlyFile(VarTemperature, 1998, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := b.MonthlyFile(VarTemperature, 1998, 3)
+	var ba, bb bytes.Buffer
+	fa.Encode(&ba)
+	fb.Encode(&bb)
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("same model+month produced different bytes")
+	}
+	// Different model differs.
+	c := NewModel("ccm3", DefaultGrid)
+	fc, _ := c.MonthlyFile(VarTemperature, 1998, 3)
+	var bc bytes.Buffer
+	fc.Encode(&bc)
+	if bytes.Equal(ba.Bytes(), bc.Bytes()) {
+		t.Fatal("different models produced identical bytes")
+	}
+}
+
+func TestMonthlyFileStructure(t *testing.T) {
+	m := NewModel("pcm", GridSpec{NLat: 8, NLon: 16, StepsPerMonth: 4})
+	f, err := m.MonthlyFile(VarPrecipitation, 1999, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := f.Shape(VarPrecipitation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape[0] != 4 || shape[1] != 8 || shape[2] != 16 {
+		t.Fatalf("shape = %v", shape)
+	}
+	vi, _ := f.VarInfo(VarPrecipitation)
+	if vi.Attrs["units"] != "mm/day" || vi.Type != cdf.Float32 {
+		t.Fatalf("varinfo = %+v", vi)
+	}
+	if f.Attrs["period"] != "1999-12" {
+		t.Fatalf("period attr = %q", f.Attrs["period"])
+	}
+	// Coordinate variables present.
+	for _, v := range []string{"lat", "lon", "time"} {
+		if _, err := f.VarInfo(v); err != nil {
+			t.Errorf("missing coordinate var %s: %v", v, err)
+		}
+	}
+}
+
+func TestUnknownVariable(t *testing.T) {
+	m := NewModel("pcm", DefaultGrid)
+	if _, err := m.MonthlyFile("vorticity", 1998, 1); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestFileNameAndLogicalSize(t *testing.T) {
+	if got := FileName("pcm", "tas", 1998, 3); got != "pcm.tas.1998-03.nc" {
+		t.Fatalf("FileName = %q", got)
+	}
+	if s := LogicalSizeBytes(VarTemperature); s <= 1<<30 || s >= 1<<31 {
+		t.Fatalf("tas logical size = %d, want just under 2GB", s)
+	}
+}
+
+func TestMonthsBetween(t *testing.T) {
+	from := time.Date(1998, 11, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(1999, 2, 1, 0, 0, 0, 0, time.UTC)
+	got := MonthsBetween(from, to)
+	want := [][2]int{{1998, 11}, {1998, 12}, {1999, 1}, {1999, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"esgrid/internal/climate"
+	"esgrid/internal/rm"
+)
+
+// DemoResult captures the artifacts of the end-to-end SC'00 demonstration
+// (Figures 2-4 and the §7 narrative): the attribute query, the resolved
+// files, the transfer monitor, and the visualization.
+type DemoResult struct {
+	QueryText  string
+	Files      []rm.FileStatus
+	Monitor    string
+	Viz        string
+	Elapsed    time.Duration
+	TotalBytes int64
+}
+
+// Rows summarizes the demo run.
+func (r DemoResult) Rows() []Row {
+	return []Row{
+		{"query", r.QueryText},
+		{"files resolved and transferred", fmt.Sprint(len(r.Files))},
+		{"total data moved", fmt.Sprintf("%.1f GB", float64(r.TotalBytes)/1e9)},
+		{"end-to-end time", r.Elapsed.Round(time.Second).String()},
+	}
+}
+
+// testbedRunner abstracts the root esgrid.Testbed so this package can
+// drive it without an import cycle; cmd/esgbench and the benchmarks pass
+// the real thing.
+type testbedRunner interface {
+	Run(fn func())
+}
+
+// RunDemo executes the demonstration flow on a prepared testbed. fetch,
+// monitor and analyze adapt the root package's API; see cmd/esgbench.
+func RunDemo(tb testbedRunner,
+	fetch func() (*rm.Request, error),
+	analyze func() (string, error),
+	clockNow func() time.Time) (DemoResult, error) {
+
+	var res DemoResult
+	var err error
+	tb.Run(func() {
+		t0 := clockNow()
+		var req *rm.Request
+		req, err = fetch()
+		if err != nil {
+			return
+		}
+		if err = req.Wait(); err != nil {
+			return
+		}
+		res.Elapsed = clockNow().Sub(t0)
+		res.Files = req.Status()
+		for _, f := range res.Files {
+			res.TotalBytes += f.Received
+		}
+		res.Monitor = rm.RenderMonitor(req, 100)
+		res.Viz, err = analyze()
+	})
+	res.QueryText = fmt.Sprintf("dataset=pcm-b06.44 variables=%s period=1998-06..1998-08",
+		strings.Join([]string{climate.VarTemperature, climate.VarCloudCover}, ","))
+	return res, err
+}

@@ -1,0 +1,496 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"esgrid/internal/gsi"
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// ClientConfig configures a GridFTP client connection.
+type ClientConfig struct {
+	// Clock schedules reader goroutines; required.
+	Clock vtime.Clock
+	// Net is the local transport (the client's host in the simulator).
+	Net transport.Network
+	// Auth, when non-nil, authenticates the control channel with AUTH GSI.
+	Auth *gsi.Config
+	// BufferBytes tunes TCP buffers on control and data channels (SBUF);
+	// 0 keeps the OS default — exactly the knob §7 calls critical.
+	BufferBytes int
+	// Parallelism is the number of TCP streams per stripe node (§6.1).
+	Parallelism int
+	// CacheDataChannels keeps data connections (and their ramped TCP
+	// windows) across consecutive transfers (§7's post-SC'00 fix).
+	CacheDataChannels bool
+	// Striped requests SPAS so every stripe node of the server
+	// participates; otherwise PASV uses a single node.
+	Striped bool
+	// DiskBound marks the client side of data connections disk-bound.
+	DiskBound bool
+}
+
+// TransferStats summarizes one completed transfer.
+type TransferStats struct {
+	Bytes    int64
+	Duration time.Duration
+	Streams  int
+	Stripes  int
+}
+
+// Bps returns the average transfer rate in bits per second.
+func (t TransferStats) Bps() float64 {
+	if t.Duration <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) * 8 / t.Duration.Seconds()
+}
+
+// Client is one GridFTP control session plus its data channels.
+type Client struct {
+	cfg  ClientConfig
+	addr string
+	ct   *ctrl
+	peer *gsi.Peer
+
+	mu    sync.Mutex
+	pools map[string][]transport.Conn // data conns per node address
+}
+
+// Dial connects and authenticates a control session to addr.
+func Dial(cfg ClientConfig, addr string) (*Client, error) {
+	if cfg.Clock == nil || cfg.Net == nil {
+		return nil, errors.New("gridftp: client config needs Clock and Net")
+	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	conn, err := cfg.Net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg, addr: addr, ct: newCtrl(conn), pools: map[string][]transport.Conn{}}
+	r, err := c.ct.readResponse()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if r.Code != codeReady {
+		conn.Close()
+		return nil, r.err()
+	}
+	if err := c.authenticate(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.configureSession(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) authenticate(conn transport.Conn) error {
+	if c.cfg.Auth == nil {
+		return nil
+	}
+	if err := c.ct.sendLine("AUTH GSI"); err != nil {
+		return err
+	}
+	r, err := c.ct.readResponse()
+	if err != nil {
+		return err
+	}
+	if r.Code != codeAuthProceed {
+		if r.Code == codeAuthOK {
+			return nil // server does not require security
+		}
+		return r.err()
+	}
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{c.ct.br, conn}
+	peer, err := c.cfg.Auth.Client(rw)
+	if err != nil {
+		return err
+	}
+	c.peer = peer
+	if r, err = c.ct.readResponse(); err != nil {
+		return err
+	}
+	if r.Code != codeAuthOK {
+		return r.err()
+	}
+	return nil
+}
+
+func (c *Client) configureSession() error {
+	cmds := []string{"TYPE I", "MODE E"}
+	if c.cfg.BufferBytes > 0 {
+		cmds = append(cmds, fmt.Sprintf("SBUF %d", c.cfg.BufferBytes))
+	}
+	cmds = append(cmds, fmt.Sprintf("OPTS RETR Parallelism=%d;", c.cfg.Parallelism))
+	if c.cfg.CacheDataChannels {
+		cmds = append(cmds, "OPTS CHANNELS Cache=on")
+	}
+	for _, cmd := range cmds {
+		if _, err := c.simple(cmd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simple sends a command and expects a 2xx/3xx single response.
+func (c *Client) simple(cmd string) (*response, error) {
+	if err := c.ct.sendLine(cmd); err != nil {
+		return nil, err
+	}
+	r, err := c.ct.readResponse()
+	if err != nil {
+		return nil, err
+	}
+	if r.Code >= 400 {
+		return r, r.err()
+	}
+	return r, nil
+}
+
+// Peer returns the authenticated server identity (nil without auth).
+func (c *Client) Peer() *gsi.Peer { return c.peer }
+
+// Close quits the session and closes all channels.
+func (c *Client) Close() error {
+	c.ct.sendLine("QUIT")
+	c.closeDataConns()
+	return c.ct.conn.Close()
+}
+
+func (c *Client) closeDataConns() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conns := range c.pools {
+		for _, dc := range conns {
+			dc.Close()
+		}
+	}
+	c.pools = map[string][]transport.Conn{}
+}
+
+// Size asks the server for a file's size (64-bit, §7).
+func (c *Client) Size(path string) (int64, error) {
+	r, err := c.simple("SIZE " + path)
+	if err != nil {
+		return 0, err
+	}
+	if r.Code != codeSize {
+		return 0, r.err()
+	}
+	return strconv.ParseInt(strings.TrimSpace(r.Text), 10, 64)
+}
+
+// Features returns the server's FEAT list.
+func (c *Client) Features() ([]string, error) {
+	r, err := c.simple("FEAT")
+	if err != nil {
+		return nil, err
+	}
+	return r.Body, nil
+}
+
+// negotiateData issues PASV or SPAS and returns the data addresses.
+func (c *Client) negotiateData() ([]string, error) {
+	if c.cfg.Striped {
+		r, err := c.simple("SPAS")
+		if err != nil {
+			return nil, err
+		}
+		if r.Code != codeStripedPassive || len(r.Body) == 0 {
+			return nil, fmt.Errorf("gridftp: bad SPAS reply %d %q", r.Code, r.Text)
+		}
+		return r.Body, nil
+	}
+	r, err := c.simple("PASV")
+	if err != nil {
+		return nil, err
+	}
+	if r.Code != codePassive {
+		return nil, r.err()
+	}
+	i := strings.LastIndexByte(r.Text, '(')
+	j := strings.LastIndexByte(r.Text, ')')
+	if i < 0 || j <= i {
+		return nil, fmt.Errorf("gridftp: bad PASV reply %q", r.Text)
+	}
+	return []string{r.Text[i+1 : j]}, nil
+}
+
+// dataConns ensures the pool for addr holds exactly p connections.
+func (c *Client) dataConns(addr string, p int) ([]transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conns := c.pools[addr]
+	for len(conns) > p {
+		last := len(conns) - 1
+		conns[last].Close()
+		conns = conns[:last]
+	}
+	for len(conns) < p {
+		dc, err := c.cfg.Net.Dial(addr)
+		if err != nil {
+			c.pools[addr] = conns
+			return nil, err
+		}
+		if c.cfg.BufferBytes > 0 {
+			if t, ok := dc.(interface{ SetBuffer(int) }); ok {
+				t.SetBuffer(c.cfg.BufferBytes)
+			}
+		}
+		if c.cfg.DiskBound {
+			if t, ok := dc.(interface{ SetDiskBound(bool) }); ok {
+				t.SetDiskBound(true)
+			}
+		}
+		conns = append(conns, dc)
+	}
+	c.pools[addr] = conns
+	return conns, nil
+}
+
+// dropDataConns forgets (and closes) pooled connections after a transfer
+// when caching is off, or after an error.
+func (c *Client) dropDataConns(addrs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range addrs {
+		for _, dc := range c.pools[a] {
+			dc.Close()
+		}
+		delete(c.pools, a)
+	}
+}
+
+// Get retrieves the whole file into sink.
+func (c *Client) Get(path string, sink Sink) (TransferStats, error) {
+	return c.get(path, sink, nil)
+}
+
+// GetRanges retrieves only the given byte ranges (partial file transfer /
+// extent-based restart).
+func (c *Client) GetRanges(path string, sink Sink, ranges []Extent) (TransferStats, error) {
+	if len(ranges) == 0 {
+		return TransferStats{}, errors.New("gridftp: GetRanges needs at least one range")
+	}
+	return c.get(path, sink, ranges)
+}
+
+func (c *Client) get(path string, sink Sink, ranges []Extent) (TransferStats, error) {
+	start := c.cfg.Clock.Now()
+	addrs, err := c.negotiateData()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	cmd := "RETR " + path
+	if ranges != nil {
+		cmd = "ERET " + formatRanges(ranges) + " " + path
+	}
+	if err := c.ct.sendLine(cmd); err != nil {
+		return TransferStats{}, err
+	}
+	r, err := c.ct.readResponse()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if r.Code != codeOpenData {
+		return TransferStats{}, r.err()
+	}
+	var total int64
+	var mu sync.Mutex
+	var firstErr error
+	wg := vtime.NewWaitGroup(c.cfg.Clock)
+	for _, addr := range addrs {
+		conns, err := c.dataConns(addr, c.cfg.Parallelism)
+		if err != nil {
+			mu.Lock()
+			firstErr = err
+			mu.Unlock()
+			break
+		}
+		for _, dc := range conns {
+			dc := dc
+			wg.Go(func() {
+				n, err := receiveBlocksCounted(dc, sink)
+				mu.Lock()
+				total += n
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			})
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		c.dropDataConns(addrs)
+		// Drain the control reply if the server managed to send one, so
+		// the session stays usable for a retry.
+		c.ct.conn.SetReadDeadline(c.cfg.Clock.Now().Add(time.Second))
+		c.ct.readResponse()
+		c.ct.conn.SetReadDeadline(time.Time{})
+		return TransferStats{Bytes: total}, firstErr
+	}
+	r, err = c.ct.readResponse()
+	if err != nil {
+		return TransferStats{Bytes: total}, err
+	}
+	if r.Code != codeTransferOK {
+		return TransferStats{Bytes: total}, r.err()
+	}
+	if !c.cfg.CacheDataChannels {
+		c.dropDataConns(addrs)
+	}
+	return TransferStats{
+		Bytes:    total,
+		Duration: c.cfg.Clock.Now().Sub(start),
+		Streams:  c.cfg.Parallelism * len(addrs),
+		Stripes:  len(addrs),
+	}, nil
+}
+
+// receiveBlocksCounted is receiveBlocks plus a payload byte count.
+func receiveBlocksCounted(conn transport.Conn, sink Sink) (int64, error) {
+	var n int64
+	for {
+		hdr, err := readBlockHeader(conn)
+		if err != nil {
+			return n, err
+		}
+		if hdr.Flags&flagEOD != 0 {
+			return n, nil
+		}
+		if err := sink.ReceiveRange(conn, int64(hdr.Off), int64(hdr.Len)); err != nil {
+			return n, err
+		}
+		n += int64(hdr.Len)
+	}
+}
+
+// Put stores src as path on the server.
+func (c *Client) Put(path string, src Source) (TransferStats, error) {
+	start := c.cfg.Clock.Now()
+	size := src.Size()
+	if _, err := c.simple(fmt.Sprintf("ALLO %d", size)); err != nil {
+		return TransferStats{}, err
+	}
+	addrs, err := c.negotiateData()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if err := c.ct.sendLine("STOR " + path); err != nil {
+		return TransferStats{}, err
+	}
+	r, err := c.ct.readResponse()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if r.Code != codeOpenData {
+		return TransferStats{}, r.err()
+	}
+	blocks := partitionRanges([]Extent{{0, size}}, DefaultBlockSize)
+	var mu sync.Mutex
+	var firstErr error
+	wg := vtime.NewWaitGroup(c.cfg.Clock)
+	for ai, addr := range addrs {
+		conns, err := c.dataConns(addr, c.cfg.Parallelism)
+		if err != nil {
+			mu.Lock()
+			firstErr = err
+			mu.Unlock()
+			break
+		}
+		share := make(chan Extent, len(blocks)/len(addrs)+1)
+		for bi := ai; bi < len(blocks); bi += len(addrs) {
+			share <- blocks[bi]
+		}
+		close(share)
+		for _, dc := range conns {
+			dc := dc
+			wg.Go(func() {
+				for blk := range share {
+					if err := writeBlockHeader(dc, blockHeader{Len: uint64(blk.Len), Off: uint64(blk.Off)}); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					if err := src.SendRange(dc, blk.Off, blk.Len); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				if err := writeBlockHeader(dc, blockHeader{Flags: flagEOD}); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			})
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		c.dropDataConns(addrs)
+		return TransferStats{}, firstErr
+	}
+	r, err = c.ct.readResponse()
+	if err != nil {
+		return TransferStats{}, err
+	}
+	if r.Code != codeTransferOK {
+		return TransferStats{}, r.err()
+	}
+	if !c.cfg.CacheDataChannels {
+		c.dropDataConns(addrs)
+	}
+	return TransferStats{
+		Bytes:    size,
+		Duration: c.cfg.Clock.Now().Sub(start),
+		Streams:  c.cfg.Parallelism * len(addrs),
+		Stripes:  len(addrs),
+	}, nil
+}
+
+// MissingRanges computes the extents of [0, size) not yet covered by the
+// sink — the restart information for a resumed transfer.
+func MissingRanges(sink Sink, size int64) []Extent {
+	covered := sink.Received()
+	var out []Extent
+	var pos int64
+	for _, e := range covered {
+		if e.Off > pos {
+			out = append(out, Extent{Off: pos, Len: e.Off - pos})
+		}
+		if end := e.Off + e.Len; end > pos {
+			pos = end
+		}
+	}
+	if pos < size {
+		out = append(out, Extent{Off: pos, Len: size - pos})
+	}
+	return out
+}

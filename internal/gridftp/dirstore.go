@@ -1,0 +1,161 @@
+package gridftp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"esgrid/internal/transport"
+)
+
+// DirStore serves and stores real files under a directory tree; it backs
+// the cmd/esgd daemon when running over real TCP. Logical names are
+// slash-separated relative paths; ".." escapes are rejected.
+type DirStore struct {
+	root string
+}
+
+// NewDirStore returns a store rooted at dir.
+func NewDirStore(dir string) *DirStore { return &DirStore{root: dir} }
+
+func (d *DirStore) resolve(name string) (string, error) {
+	clean := filepath.Clean("/" + filepath.FromSlash(name))
+	if strings.Contains(clean, "..") {
+		return "", fmt.Errorf("gridftp: invalid path %q", name)
+	}
+	return filepath.Join(d.root, clean), nil
+}
+
+// Open implements FileStore.
+func (d *DirStore) Open(name string) (Source, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchFile, name)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &fileSource{f: f, size: info.Size()}, nil
+}
+
+// Stat implements FileStore.
+func (d *DirStore) Stat(name string) (int64, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchFile, name)
+	}
+	return info.Size(), nil
+}
+
+// Create implements FileStore: ranges are written into a sparse temp
+// file, renamed into place on Complete.
+func (d *DirStore) Create(name string, size int64) (Sink, error) {
+	path, err := d.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".esg-incoming-*")
+	if err != nil {
+		return nil, err
+	}
+	if err := tmp.Truncate(size); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return &fileSink{f: tmp, size: size, final: path}, nil
+}
+
+// fileSource streams ranges of an os file.
+type fileSource struct {
+	f    *os.File
+	size int64
+}
+
+func (s *fileSource) Size() int64  { return s.size }
+func (s *fileSource) Close() error { return s.f.Close() }
+
+func (s *fileSource) SendRange(c transport.Conn, off, n int64) error {
+	if off < 0 || n < 0 || off+n > s.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrRange, off, off+n, s.size)
+	}
+	_, err := io.Copy(c, io.NewSectionReader(s.f, off, n))
+	return err
+}
+
+// fileSink writes ranges into a temp file and installs it when complete.
+type fileSink struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64
+	final string
+	ext   extentSet
+	done  bool
+}
+
+func (s *fileSink) ReceiveRange(c transport.Conn, off, n int64) error {
+	if off < 0 || n < 0 || off+n > s.size {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrRange, off, off+n, s.size)
+	}
+	buf := make([]byte, 256<<10)
+	var written int64
+	for written < n {
+		chunk := int64(len(buf))
+		if rem := n - written; rem < chunk {
+			chunk = rem
+		}
+		m, err := io.ReadFull(c, buf[:chunk])
+		if m > 0 {
+			if _, werr := s.f.WriteAt(buf[:m], off+written); werr != nil {
+				return werr
+			}
+			written += int64(m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	s.ext.add(off, n)
+	return nil
+}
+
+func (s *fileSink) Complete() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	if !s.ext.covers(s.size) {
+		return fmt.Errorf("%w: have %v of %d bytes", ErrIncomplete, s.ext.covered(), s.size)
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	name := s.f.Name()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(name, s.final); err != nil {
+		return err
+	}
+	s.done = true
+	return nil
+}
+
+func (s *fileSink) Received() []Extent { return s.ext.covered() }

@@ -1,0 +1,86 @@
+package gridftp
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+func TestDirStoreRoundTripOverTCP(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	data := pattern(2 << 20)
+	if err := os.WriteFile(filepath.Join(srcDir, "pcm.tas.nc"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(Config{
+		Clock: vtime.Real{}, Net: transport.Real{}, Host: "127.0.0.1",
+		Store: NewDirStore(srcDir),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := transport.Real{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	c, err := Dial(ClientConfig{Clock: vtime.Real{}, Net: transport.Real{}, Parallelism: 3}, l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	size, err := c.Size("pcm.tas.nc")
+	if err != nil || size != int64(len(data)) {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	dst := NewDirStore(dstDir)
+	sink, err := dst.Create("copy/pcm.tas.nc", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("pcm.tas.nc", sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dstDir, "copy", "pcm.tas.nc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("disk round trip corrupted content")
+	}
+}
+
+func TestDirStorePathEscapes(t *testing.T) {
+	d := NewDirStore(t.TempDir())
+	if _, err := d.Open("../../etc/passwd"); err == nil {
+		t.Fatal("path escape allowed")
+	}
+	if _, err := d.Stat("nope.nc"); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("stat missing: %v", err)
+	}
+}
+
+func TestDirStoreIncompleteNotInstalled(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDirStore(dir)
+	sink, err := d.Create("partial.nc", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Complete(); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("Complete on empty sink: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "partial.nc")); !os.IsNotExist(err) {
+		t.Fatal("incomplete file installed")
+	}
+}

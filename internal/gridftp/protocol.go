@@ -1,0 +1,195 @@
+package gridftp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"esgrid/internal/transport"
+)
+
+// Control-channel reply codes (FTP-compatible where FTP has them).
+const (
+	codeReady          = 220
+	codeBye            = 221
+	codeTransferOK     = 226
+	codePassive        = 227
+	codeStripedPassive = 229
+	codeAuthOK         = 234
+	codeCmdOK          = 200
+	codeFeat           = 211
+	codeSize           = 213
+	codeAuthProceed    = 334
+	codeRestProceed    = 350
+	codeOpenData       = 150
+	codeBadCmd         = 500
+	codeBadParam       = 501
+	codeNotAuthed      = 530
+	codeNoFile         = 550
+	codeXferFailed     = 426
+)
+
+// ctrl wraps a control connection with line-oriented send/receive.
+type ctrl struct {
+	conn transport.Conn
+	br   *bufio.Reader
+}
+
+func newCtrl(c transport.Conn) *ctrl {
+	return &ctrl{conn: c, br: bufio.NewReader(c)}
+}
+
+// sendLine writes one CRLF-terminated line.
+func (c *ctrl) sendLine(line string) error {
+	_, err := io.WriteString(c.conn, line+"\r\n")
+	return err
+}
+
+// reply sends a single-line reply.
+func (c *ctrl) reply(code int, format string, args ...any) error {
+	return c.sendLine(fmt.Sprintf("%d %s", code, fmt.Sprintf(format, args...)))
+}
+
+// replyMulti sends a multi-line reply ("NNN-first", body lines prefixed
+// with a space, closed by "NNN end").
+func (c *ctrl) replyMulti(code int, first string, body []string, last string) error {
+	if err := c.sendLine(fmt.Sprintf("%d-%s", code, first)); err != nil {
+		return err
+	}
+	for _, b := range body {
+		if err := c.sendLine(" " + b); err != nil {
+			return err
+		}
+	}
+	return c.sendLine(fmt.Sprintf("%d %s", code, last))
+}
+
+// readLine reads one command or reply line (CRLF or LF terminated).
+func (c *ctrl) readLine() (string, error) {
+	s, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+// response is a parsed server reply.
+type response struct {
+	Code int
+	Text string
+	Body []string // multi-line body, if any
+}
+
+// readResponse parses a (possibly multi-line) reply.
+func (c *ctrl) readResponse() (*response, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 4 {
+		return nil, fmt.Errorf("gridftp: short reply %q", line)
+	}
+	code, err := strconv.Atoi(line[:3])
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: malformed reply %q", line)
+	}
+	r := &response{Code: code, Text: line[4:]}
+	if line[3] == '-' {
+		for {
+			l, err := c.readLine()
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasPrefix(l, line[:3]+" ") {
+				r.Text = l[4:]
+				return r, nil
+			}
+			r.Body = append(r.Body, strings.TrimPrefix(l, " "))
+		}
+	}
+	return r, nil
+}
+
+// ok reports whether the reply code is a 2xx success.
+func (r *response) ok() bool { return r.Code >= 200 && r.Code < 300 }
+
+// ReplyError is a non-success control-channel reply.
+type ReplyError struct {
+	Code int
+	Text string
+}
+
+func (e *ReplyError) Error() string { return fmt.Sprintf("gridftp: %d %s", e.Code, e.Text) }
+
+func (r *response) err() error {
+	if r.ok() {
+		return nil
+	}
+	return &ReplyError{Code: r.Code, Text: r.Text}
+}
+
+// --- extended block mode (MODE E) data framing ---
+//
+// Each block: 1-byte flags, 8-byte length, 8-byte offset (64-bit: the
+// large-file support §7 added after SC'00), then payload. The EOD flag
+// marks the final (empty) block on a connection for this transfer.
+
+const (
+	flagEOD = 0x08
+)
+
+type blockHeader struct {
+	Flags byte
+	Len   uint64
+	Off   uint64
+}
+
+const blockHeaderLen = 17
+
+func writeBlockHeader(w io.Writer, h blockHeader) error {
+	var buf [blockHeaderLen]byte
+	buf[0] = h.Flags
+	binary.BigEndian.PutUint64(buf[1:9], h.Len)
+	binary.BigEndian.PutUint64(buf[9:17], h.Off)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readBlockHeader(r io.Reader) (blockHeader, error) {
+	var buf [blockHeaderLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return blockHeader{}, err
+	}
+	return blockHeader{
+		Flags: buf[0],
+		Len:   binary.BigEndian.Uint64(buf[1:9]),
+		Off:   binary.BigEndian.Uint64(buf[9:17]),
+	}, nil
+}
+
+// parseRanges parses "off:len,off:len" into extents.
+func parseRanges(s string) ([]Extent, error) {
+	var out []Extent
+	for _, part := range strings.Split(s, ",") {
+		var off, n int64
+		if _, err := fmt.Sscanf(part, "%d:%d", &off, &n); err != nil {
+			return nil, fmt.Errorf("gridftp: bad range %q: %w", part, err)
+		}
+		if off < 0 || n <= 0 {
+			return nil, fmt.Errorf("gridftp: bad range %q", part)
+		}
+		out = append(out, Extent{Off: off, Len: n})
+	}
+	return out, nil
+}
+
+func formatRanges(rs []Extent) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("%d:%d", r.Off, r.Len)
+	}
+	return strings.Join(parts, ",")
+}

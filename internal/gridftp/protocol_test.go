@@ -1,0 +1,224 @@
+package gridftp
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// rawSession dials the server and returns a raw control channel plus a
+// helper that sends a line and returns the reply line(s).
+func rawSession(t *testing.T, addr string) (net.Conn, func(string) string) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	br := bufio.NewReader(c)
+	readReply := func() string {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read reply: %v", err)
+		}
+		full := line
+		// Multi-line replies end with "NNN <text>".
+		if len(line) > 3 && line[3] == '-' {
+			code := line[:3]
+			for {
+				l, err := br.ReadString('\n')
+				if err != nil {
+					t.Fatalf("read multiline: %v", err)
+				}
+				full += l
+				if strings.HasPrefix(l, code+" ") {
+					break
+				}
+			}
+		}
+		return strings.TrimSpace(full)
+	}
+	// Consume the greeting.
+	if g := readReply(); !strings.HasPrefix(g, "220") {
+		t.Fatalf("greeting = %q", g)
+	}
+	send := func(line string) string {
+		if _, err := io.WriteString(c, line+"\r\n"); err != nil {
+			t.Fatalf("send %q: %v", line, err)
+		}
+		return readReply()
+	}
+	return c, send
+}
+
+func TestProtocolRobustness(t *testing.T) {
+	env := startRealServer(t, false)
+	env.store.Put("a.nc", pattern(1024))
+	_, send := rawSession(t, env.addr)
+
+	cases := []struct {
+		cmd      string
+		wantCode string
+	}{
+		{"BOGUS", "500"},
+		{"bogus with args", "500"},
+		{"TYPE I", "200"},
+		{"MODE E", "200"},
+		{"MODE Z", "501"},
+		{"SBUF notanumber", "501"},
+		{"SBUF -5", "501"},
+		{"SBUF 1048576", "200"},
+		{"OPTS RETR Parallelism=0;", "501"},
+		{"OPTS RETR Parallelism=999;", "501"},
+		{"OPTS RETR Parallelism=4;", "200"},
+		{"OPTS RETR Nonsense=1;", "501"},
+		{"OPTS CHANNELS Cache=on", "200"},
+		{"OPTS", "501"},
+		{"SIZE missing.nc", "550"},
+		{"SIZE a.nc", "213"},
+		{"ALLO -1", "501"},
+		{"ALLO xyz", "501"},
+		{"REST -3", "501"},
+		{"REST 100", "350"},
+		{"STOR nofile.nc", "501"}, // no ALLO size (REST cleared by failure path is fine)
+		{"ERET justonearg", "501"},
+		{"ERET 0:10", "501"},
+		{"ESUB var=tas", "501"},
+		{"XSUB var=tas a.nc", "500"}, // MemStore cannot subset
+		{"NOOP", "200"},
+	}
+	for _, tc := range cases {
+		got := send(tc.cmd)
+		if !strings.HasPrefix(got, tc.wantCode) {
+			t.Errorf("%-28q -> %q, want %s...", tc.cmd, got, tc.wantCode)
+		}
+	}
+	// RETR without PASV must fail cleanly, not hang.
+	if got := send("RETR a.nc"); !strings.HasPrefix(got, "150") {
+		t.Fatalf("RETR opened with %q", got)
+	} else {
+		// The 150 is followed by the data-phase failure.
+		_, send2 := rawSession(t, env.addr)
+		_ = send2
+	}
+}
+
+func TestProtocolQuit(t *testing.T) {
+	env := startRealServer(t, false)
+	c, send := rawSession(t, env.addr)
+	if got := send("QUIT"); !strings.HasPrefix(got, "221") {
+		t.Fatalf("QUIT -> %q", got)
+	}
+	// Server closes the connection after QUIT.
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}
+
+func TestProtocolSessionSurvivesErrors(t *testing.T) {
+	// A stream of garbage must not wedge the session: a valid command
+	// afterwards still works.
+	env := startRealServer(t, false)
+	env.store.Put("ok.nc", pattern(64))
+	_, send := rawSession(t, env.addr)
+	for i := 0; i < 20; i++ {
+		send(fmt.Sprintf("JUNK%d arg arg arg", i))
+	}
+	if got := send("SIZE ok.nc"); !strings.HasPrefix(got, "213 64") {
+		t.Fatalf("after garbage: %q", got)
+	}
+}
+
+func TestBlockHeaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := blockHeader{Flags: flagEOD, Len: 1<<40 + 5, Off: 1<<41 + 7}
+	if err := writeBlockHeader(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != blockHeaderLen {
+		t.Fatalf("header length %d", buf.Len())
+	}
+	out, err := readBlockHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	// Truncated header errors.
+	if _, err := readBlockHeader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated header read")
+	}
+}
+
+func TestCtrlMultilineParsing(t *testing.T) {
+	// Client-side response parser against a canned multi-line reply.
+	var buf bytes.Buffer
+	buf.WriteString("229-Entering Striped Passive Mode\r\n node1:5000\r\n node2:5001\r\n229 END\r\n")
+	c := &ctrl{br: bufio.NewReader(&buf)}
+	r, err := c.readResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Code != 229 || len(r.Body) != 2 || r.Body[1] != "node2:5001" {
+		t.Fatalf("parsed %+v", r)
+	}
+	// Malformed replies error out rather than looping.
+	var bad bytes.Buffer
+	bad.WriteString("xx\r\n")
+	c2 := &ctrl{br: bufio.NewReader(&bad)}
+	if _, err := c2.readResponse(); err == nil {
+		t.Fatal("short reply parsed")
+	}
+	var bad2 bytes.Buffer
+	bad2.WriteString("abc hello\r\n")
+	c3 := &ctrl{br: bufio.NewReader(&bad2)}
+	if _, err := c3.readResponse(); err == nil {
+		t.Fatal("non-numeric code parsed")
+	}
+}
+
+func TestConcurrentSessionsShareStore(t *testing.T) {
+	env := startRealServer(t, false)
+	data := pattern(512 << 10)
+	env.store.Put("shared.nc", data)
+	const clients = 5
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			c, err := Dial(ClientConfig{Clock: vtime.Real{}, Net: transport.Real{}, Parallelism: 2}, env.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			sink := NewBytesSink(int64(len(data)))
+			if _, err := c.Get("shared.nc", sink); err != nil {
+				errs <- err
+				return
+			}
+			if err := sink.Complete(); err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(sink.Bytes(), data) {
+				errs <- fmt.Errorf("content mismatch")
+				return
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,637 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"esgrid/internal/gsi"
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// DefaultBlockSize is the MODE E block size used when Config.BlockSize is
+// zero. Large blocks amortize per-block header cost in the simulator.
+const DefaultBlockSize = 4 << 20
+
+// DataNode is one stripe backend: a host that moves file content. A
+// plain server has a single data node colocated with the control channel;
+// a striped server (§6.1 "striped data transfer ... across multiple
+// hosts") lists several.
+type DataNode struct {
+	// Net is the node's transport (its host in the simulator).
+	Net transport.Network
+	// Host is the advertised hostname for passive-mode replies.
+	Host string
+}
+
+// Config configures a GridFTP server.
+type Config struct {
+	// Clock schedules handler goroutines; required.
+	Clock vtime.Clock
+	// Net is the control-channel host; also the default data node.
+	Net transport.Network
+	// Host is the advertised hostname.
+	Host string
+	// Auth, when non-nil, requires GSI authentication before any
+	// transfer command.
+	Auth *gsi.Config
+	// Store backs RETR/STOR/SIZE.
+	Store FileStore
+	// BlockSize is the MODE E block size (DefaultBlockSize if zero).
+	BlockSize int64
+	// DataNodes lists stripe backends; nil means one node on Net/Host.
+	DataNodes []DataNode
+	// DiskBound marks data connections as staged through this host's
+	// disk, engaging the simulator's disk-rate cap (Figure 8).
+	DiskBound bool
+}
+
+// Server is a GridFTP server instance.
+type Server struct {
+	cfg       Config
+	blockSize int64
+	nodes     []DataNode
+
+	mu       sync.Mutex
+	listener transport.Listener
+}
+
+// NewServer validates cfg and returns a server.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Clock == nil || cfg.Net == nil || cfg.Store == nil {
+		return nil, errors.New("gridftp: config needs Clock, Net and Store")
+	}
+	s := &Server{cfg: cfg, blockSize: cfg.BlockSize}
+	if s.blockSize <= 0 {
+		s.blockSize = DefaultBlockSize
+	}
+	s.nodes = cfg.DataNodes
+	if len(s.nodes) == 0 {
+		s.nodes = []DataNode{{Net: cfg.Net, Host: cfg.Host}}
+	}
+	return s, nil
+}
+
+// Serve accepts control connections until the listener closes.
+func (s *Server) Serve(l transport.Listener) {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.cfg.Clock.Go(func() { s.handle(c) })
+	}
+}
+
+// Close stops accepting control connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		s.listener.Close()
+	}
+}
+
+// session is per-control-connection state.
+type session struct {
+	srv  *Server
+	ct   *ctrl
+	peer *gsi.Peer
+
+	buffer      int
+	parallelism int
+	cache       bool
+	mode        byte
+	restRanges  []Extent
+	allocSize   int64
+
+	nodes []*nodeState
+}
+
+// nodeState is the per-stripe-node data-channel state of one session.
+type nodeState struct {
+	node     DataNode
+	listener transport.Listener
+	conns    []transport.Conn
+	portAddr string // active-mode target ("" = passive)
+}
+
+func (s *Server) handle(conn transport.Conn) {
+	ct := newCtrl(conn)
+	sess := &session{srv: s, ct: ct, parallelism: 1, mode: 'E'}
+	for _, n := range s.nodes {
+		sess.nodes = append(sess.nodes, &nodeState{node: n})
+	}
+	defer func() {
+		conn.Close()
+		sess.teardownData()
+	}()
+	if err := ct.reply(codeReady, "ESG GridFTP server ready"); err != nil {
+		return
+	}
+	for {
+		line, err := ct.readLine()
+		if err != nil {
+			return
+		}
+		cmd, arg := line, ""
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			cmd, arg = line[:i], line[i+1:]
+		}
+		cmd = strings.ToUpper(cmd)
+		if !sess.authed() && cmd != "AUTH" && cmd != "FEAT" && cmd != "QUIT" && cmd != "NOOP" {
+			if err := ct.reply(codeNotAuthed, "please authenticate with AUTH GSI"); err != nil {
+				return
+			}
+			continue
+		}
+		var cerr error
+		switch cmd {
+		case "AUTH":
+			cerr = sess.cmdAuth(conn, arg)
+		case "FEAT":
+			cerr = ct.replyMulti(codeFeat, "Extensions supported:", []string{
+				"AUTH GSI", "SIZE", "SBUF", "MODE E", "PASV", "SPAS", "PORT",
+				"ERET", "ESUB", "XSUB", "REST STREAM", "ALLO", "PARALLELISM", "CHANNEL-CACHING", "SIZE64",
+			}, "END")
+		case "NOOP":
+			cerr = ct.reply(codeCmdOK, "ok")
+		case "TYPE":
+			cerr = ct.reply(codeCmdOK, "type set to I")
+		case "MODE":
+			cerr = sess.cmdMode(arg)
+		case "SBUF":
+			cerr = sess.cmdSbuf(arg)
+		case "OPTS":
+			cerr = sess.cmdOpts(arg)
+		case "SIZE":
+			cerr = sess.cmdSize(arg)
+		case "ALLO":
+			cerr = sess.cmdAllo(arg)
+		case "REST":
+			cerr = sess.cmdRest(arg)
+		case "PASV":
+			cerr = sess.cmdPasv(false)
+		case "SPAS":
+			cerr = sess.cmdPasv(true)
+		case "PORT":
+			cerr = sess.cmdPort(arg)
+		case "RETR":
+			cerr = sess.cmdRetr(arg, nil)
+		case "ERET":
+			cerr = sess.cmdEret(arg)
+		case "ESUB":
+			cerr = sess.cmdEsub(arg)
+		case "XSUB":
+			cerr = sess.cmdXsub(arg)
+		case "STOR":
+			cerr = sess.cmdStor(arg)
+		case "QUIT":
+			ct.reply(codeBye, "goodbye")
+			return
+		default:
+			cerr = ct.reply(codeBadCmd, "unknown command %q", cmd)
+		}
+		if cerr != nil {
+			return
+		}
+	}
+}
+
+func (sess *session) authed() bool {
+	return sess.srv.cfg.Auth == nil || sess.peer != nil
+}
+
+func (sess *session) cmdAuth(conn transport.Conn, arg string) error {
+	if !strings.EqualFold(arg, "GSI") {
+		return sess.ct.reply(codeBadParam, "only AUTH GSI is supported")
+	}
+	if sess.srv.cfg.Auth == nil {
+		return sess.ct.reply(codeAuthOK, "security not required")
+	}
+	if err := sess.ct.reply(codeAuthProceed, "proceed with GSI handshake"); err != nil {
+		return err
+	}
+	// The handshake frames must be read through the session's buffered
+	// reader so no bytes are lost.
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{sess.ct.br, conn}
+	peer, err := sess.srv.cfg.Auth.Server(rw)
+	if err != nil {
+		sess.ct.reply(codeNotAuthed, "authentication failed: %v", err)
+		return fmt.Errorf("gridftp: auth: %w", err)
+	}
+	sess.peer = peer
+	return sess.ct.reply(codeAuthOK, "authenticated as %s", peer.Subject)
+}
+
+func (sess *session) cmdMode(arg string) error {
+	switch strings.ToUpper(arg) {
+	case "E":
+		sess.mode = 'E'
+	case "S":
+		// Stream mode is accepted for compatibility; transfers use the
+		// extended-block framing internally in both cases.
+		sess.mode = 'S'
+	default:
+		return sess.ct.reply(codeBadParam, "mode %q not supported", arg)
+	}
+	return sess.ct.reply(codeCmdOK, "mode set to %s", strings.ToUpper(arg))
+}
+
+func (sess *session) cmdSbuf(arg string) error {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n <= 0 {
+		return sess.ct.reply(codeBadParam, "bad buffer size %q", arg)
+	}
+	sess.buffer = n
+	return sess.ct.reply(codeCmdOK, "socket buffer set to %d", n)
+}
+
+func (sess *session) cmdOpts(arg string) error {
+	parts := strings.SplitN(arg, " ", 2)
+	if len(parts) != 2 {
+		return sess.ct.reply(codeBadParam, "OPTS needs a target and options")
+	}
+	target, opts := strings.ToUpper(parts[0]), parts[1]
+	switch target {
+	case "RETR", "STOR":
+		for _, kv := range strings.Split(opts, ";") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return sess.ct.reply(codeBadParam, "bad option %q", kv)
+			}
+			switch strings.ToLower(k) {
+			case "parallelism":
+				p, err := strconv.Atoi(v)
+				if err != nil || p < 1 || p > 64 {
+					return sess.ct.reply(codeBadParam, "bad parallelism %q", v)
+				}
+				sess.parallelism = p
+			default:
+				return sess.ct.reply(codeBadParam, "unknown option %q", k)
+			}
+		}
+	case "CHANNELS":
+		k, v, _ := strings.Cut(opts, "=")
+		if !strings.EqualFold(k, "cache") {
+			return sess.ct.reply(codeBadParam, "unknown channel option %q", k)
+		}
+		sess.cache = strings.EqualFold(v, "on") || v == "1"
+	default:
+		return sess.ct.reply(codeBadParam, "OPTS target %q not supported", target)
+	}
+	return sess.ct.reply(codeCmdOK, "options accepted")
+}
+
+func (sess *session) cmdSize(arg string) error {
+	n, err := sess.srv.cfg.Store.Stat(arg)
+	if err != nil {
+		return sess.ct.reply(codeNoFile, "%v", err)
+	}
+	return sess.ct.reply(codeSize, "%d", n)
+}
+
+func (sess *session) cmdAllo(arg string) error {
+	n, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || n < 0 {
+		return sess.ct.reply(codeBadParam, "bad size %q", arg)
+	}
+	sess.allocSize = n
+	return sess.ct.reply(codeCmdOK, "allocation noted")
+}
+
+func (sess *session) cmdRest(arg string) error {
+	off, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || off < 0 {
+		return sess.ct.reply(codeBadParam, "bad restart offset %q", arg)
+	}
+	sess.restRanges = []Extent{{Off: off, Len: -1}} // -1: to end of file
+	return sess.ct.reply(codeRestProceed, "restarting at %d", off)
+}
+
+// cmdPasv opens (or reuses) data listeners. PASV uses only the first
+// node; SPAS advertises every stripe node.
+func (sess *session) cmdPasv(striped bool) error {
+	nodes := sess.nodes[:1]
+	if striped {
+		nodes = sess.nodes
+	}
+	var addrs []string
+	for _, ns := range nodes {
+		ns.portAddr = ""
+		if ns.listener == nil {
+			l, err := ns.node.Net.Listen(":0")
+			if err != nil {
+				return sess.ct.reply(codeBadParam, "cannot open data port: %v", err)
+			}
+			ns.listener = l
+		}
+		_, port := transport.SplitHostPort(ns.listener.Addr().String())
+		addrs = append(addrs, fmt.Sprintf("%s:%d", ns.node.Host, port))
+	}
+	if striped {
+		return sess.ct.replyMulti(codeStripedPassive, "Entering Striped Passive Mode", addrs, "END")
+	}
+	return sess.ct.reply(codePassive, "Entering Passive Mode (%s)", addrs[0])
+}
+
+// cmdPort records the active-mode target for the first data node.
+func (sess *session) cmdPort(arg string) error {
+	if arg == "" {
+		return sess.ct.reply(codeBadParam, "PORT needs host:port")
+	}
+	ns := sess.nodes[0]
+	ns.portAddr = arg
+	if ns.listener != nil {
+		ns.listener.Close()
+		ns.listener = nil
+	}
+	return sess.ct.reply(codeCmdOK, "PORT accepted")
+}
+
+// activeNodes returns the nodes participating in the next transfer: all
+// of them if SPAS was issued (every node has a listener), else just the
+// first.
+func (sess *session) activeNodes() []*nodeState {
+	var active []*nodeState
+	for _, ns := range sess.nodes {
+		if ns.listener != nil || ns.portAddr != "" {
+			active = append(active, ns)
+		}
+	}
+	if len(active) == 0 {
+		active = sess.nodes[:1]
+	}
+	return active
+}
+
+// obtainConns ensures the node has exactly p data connections, reusing
+// cached ones (data-channel caching, §7) and accepting or dialing more.
+func (ns *nodeState) obtainConns(sess *session, p int) ([]transport.Conn, error) {
+	for len(ns.conns) > p {
+		last := len(ns.conns) - 1
+		ns.conns[last].Close()
+		ns.conns = ns.conns[:last]
+	}
+	for len(ns.conns) < p {
+		var c transport.Conn
+		var err error
+		if ns.portAddr != "" {
+			c, err = ns.node.Net.Dial(ns.portAddr)
+		} else if ns.listener != nil {
+			c, err = ns.listener.Accept()
+		} else {
+			return nil, errors.New("gridftp: no data port negotiated (send PASV/SPAS/PORT first)")
+		}
+		if err != nil {
+			return nil, err
+		}
+		sess.tuneDataConn(c)
+		ns.conns = append(ns.conns, c)
+	}
+	return ns.conns, nil
+}
+
+// tuneDataConn applies buffer tuning and disk binding to a data conn.
+func (sess *session) tuneDataConn(c transport.Conn) {
+	if sess.buffer > 0 {
+		if t, ok := c.(interface{ SetBuffer(int) }); ok {
+			t.SetBuffer(sess.buffer)
+		}
+	}
+	if sess.srv.cfg.DiskBound {
+		if t, ok := c.(interface{ SetDiskBound(bool) }); ok {
+			t.SetDiskBound(true)
+		}
+	}
+}
+
+// afterTransfer closes data channels unless caching is on.
+func (sess *session) afterTransfer() {
+	if sess.cache {
+		return
+	}
+	sess.teardownData()
+}
+
+func (sess *session) teardownData() {
+	for _, ns := range sess.nodes {
+		for _, c := range ns.conns {
+			c.Close()
+		}
+		ns.conns = nil
+		if ns.listener != nil {
+			ns.listener.Close()
+			ns.listener = nil
+		}
+	}
+}
+
+func (sess *session) takeRestRanges(size int64) []Extent {
+	rs := sess.restRanges
+	sess.restRanges = nil
+	if rs == nil {
+		return []Extent{{Off: 0, Len: size}}
+	}
+	for i := range rs {
+		if rs[i].Len < 0 {
+			rs[i].Len = size - rs[i].Off
+		}
+	}
+	return rs
+}
+
+func (sess *session) cmdRetr(path string, ranges []Extent) error {
+	src, err := sess.srv.cfg.Store.Open(path)
+	if err != nil {
+		return sess.ct.reply(codeNoFile, "%v", err)
+	}
+	defer src.Close()
+	if ranges == nil {
+		ranges = sess.takeRestRanges(src.Size())
+	}
+	for _, r := range ranges {
+		if r.Off < 0 || r.Len <= 0 || r.Off+r.Len > src.Size() {
+			return sess.ct.reply(codeBadParam, "range [%d,%d) outside file of %d bytes", r.Off, r.Off+r.Len, src.Size())
+		}
+	}
+	if err := sess.ct.reply(codeOpenData, "opening data connection(s)"); err != nil {
+		return err
+	}
+	if err := sess.runSend(src, ranges); err != nil {
+		return sess.ct.reply(codeXferFailed, "transfer failed: %v", err)
+	}
+	sess.afterTransfer()
+	return sess.ct.reply(codeTransferOK, "transfer complete")
+}
+
+func (sess *session) cmdEret(arg string) error {
+	// ERET off:len[,off:len...] path  — partial file retrieval (§6.1).
+	spec, path, ok := strings.Cut(arg, " ")
+	if !ok {
+		return sess.ct.reply(codeBadParam, "ERET needs ranges and a path")
+	}
+	ranges, err := parseRanges(spec)
+	if err != nil {
+		return sess.ct.reply(codeBadParam, "%v", err)
+	}
+	return sess.cmdRetr(path, ranges)
+}
+
+// runSend moves the requested ranges out over the session's data
+// channels: blocks are dealt round-robin to stripe nodes, and each node's
+// parallel connections pull blocks from the node's share.
+func (sess *session) runSend(src Source, ranges []Extent) error {
+	blocks := partitionRanges(ranges, sess.srv.blockSize)
+	nodes := sess.activeNodes()
+	type task struct{ conns []transport.Conn }
+	nodeTasks := make([]task, len(nodes))
+	for i, ns := range nodes {
+		conns, err := ns.obtainConns(sess, sess.parallelism)
+		if err != nil {
+			return err
+		}
+		nodeTasks[i] = task{conns: conns}
+	}
+	var mu sync.Mutex
+	var firstErr error
+	saveErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	wg := vtime.NewWaitGroup(sess.srv.cfg.Clock)
+	for ni := range nodes {
+		// The node's block share, pre-filled and closed so workers never
+		// block on the channel itself.
+		share := make(chan Extent, len(blocks)/len(nodes)+1)
+		for bi := ni; bi < len(blocks); bi += len(nodes) {
+			share <- blocks[bi]
+		}
+		close(share)
+		for _, conn := range nodeTasks[ni].conns {
+			conn := conn
+			wg.Go(func() {
+				for blk := range share {
+					hdr := blockHeader{Len: uint64(blk.Len), Off: uint64(blk.Off)}
+					if err := writeBlockHeader(conn, hdr); err != nil {
+						saveErr(err)
+						return
+					}
+					if err := src.SendRange(conn, blk.Off, blk.Len); err != nil {
+						saveErr(err)
+						return
+					}
+				}
+				if err := writeBlockHeader(conn, blockHeader{Flags: flagEOD}); err != nil {
+					saveErr(err)
+				}
+			})
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+func (sess *session) cmdStor(path string) error {
+	if sess.allocSize <= 0 {
+		return sess.ct.reply(codeBadParam, "send ALLO with the file size before STOR")
+	}
+	size := sess.allocSize
+	sess.allocSize = 0
+	sink, err := sess.srv.cfg.Store.Create(path, size)
+	if err != nil {
+		return sess.ct.reply(codeNoFile, "%v", err)
+	}
+	if err := sess.ct.reply(codeOpenData, "opening data connection(s)"); err != nil {
+		return err
+	}
+	if err := sess.runReceive(sink); err != nil {
+		return sess.ct.reply(codeXferFailed, "transfer failed: %v", err)
+	}
+	if err := sink.Complete(); err != nil {
+		return sess.ct.reply(codeXferFailed, "%v", err)
+	}
+	sess.afterTransfer()
+	return sess.ct.reply(codeTransferOK, "transfer complete")
+}
+
+// runReceive drains blocks from every data connection until each signals
+// end-of-data.
+func (sess *session) runReceive(sink Sink) error {
+	nodes := sess.activeNodes()
+	var mu sync.Mutex
+	var firstErr error
+	wg := vtime.NewWaitGroup(sess.srv.cfg.Clock)
+	for _, ns := range nodes {
+		conns, err := ns.obtainConns(sess, sess.parallelism)
+		if err != nil {
+			return err
+		}
+		for _, conn := range conns {
+			conn := conn
+			wg.Go(func() {
+				if err := receiveBlocks(conn, sink); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			})
+		}
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// receiveBlocks reads MODE E blocks from one connection into sink until
+// an EOD block arrives.
+func receiveBlocks(conn transport.Conn, sink Sink) error {
+	for {
+		hdr, err := readBlockHeader(conn)
+		if err != nil {
+			return err
+		}
+		if hdr.Flags&flagEOD != 0 {
+			return nil
+		}
+		if err := sink.ReceiveRange(conn, int64(hdr.Off), int64(hdr.Len)); err != nil {
+			return err
+		}
+	}
+}
+
+// partitionRanges splits ranges into blocks of at most blockSize bytes.
+func partitionRanges(ranges []Extent, blockSize int64) []Extent {
+	var out []Extent
+	for _, r := range ranges {
+		off, n := r.Off, r.Len
+		for n > 0 {
+			c := blockSize
+			if n < c {
+				c = n
+			}
+			out = append(out, Extent{Off: off, Len: c})
+			off += c
+			n -= c
+		}
+	}
+	return out
+}

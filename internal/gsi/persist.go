@@ -1,0 +1,104 @@
+package gsi
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// identityFile is the on-disk JSON form of an identity (credential plus
+// private key). It stands in for the PEM key/cert pairs of real GSI.
+type identityFile struct {
+	Credential *Credential        `json:"credential"`
+	Key        ed25519.PrivateKey `json:"key"`
+}
+
+// SaveIdentity writes an identity (including its private key) to path
+// with owner-only permissions.
+func SaveIdentity(id *Identity, path string) error {
+	data, err := json.MarshalIndent(identityFile{Credential: id.Credential, Key: id.Key}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadIdentity reads an identity written by SaveIdentity.
+func LoadIdentity(path string) (*Identity, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f identityFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("gsi: parse %s: %w", path, err)
+	}
+	if f.Credential == nil || len(f.Key) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("gsi: %s is not a valid identity file", path)
+	}
+	return &Identity{Credential: f.Credential, Key: f.Key}, nil
+}
+
+// caFile is the on-disk JSON form of a trust anchor.
+type caFile struct {
+	Name      string            `json:"name"`
+	PublicKey ed25519.PublicKey `json:"public_key"`
+}
+
+// SaveTrustAnchor writes a CA's name and public key to path.
+func SaveTrustAnchor(name string, pub ed25519.PublicKey, path string) error {
+	data, err := json.MarshalIndent(caFile{Name: name, PublicKey: pub}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTrustStore reads one or more trust-anchor files into a store.
+func LoadTrustStore(paths ...string) (*TrustStore, error) {
+	ts := &TrustStore{cas: map[string]ed25519.PublicKey{}}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var f caFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("gsi: parse %s: %w", p, err)
+		}
+		if f.Name == "" || len(f.PublicKey) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("gsi: %s is not a valid trust anchor", p)
+		}
+		ts.cas[f.Name] = f.PublicKey
+	}
+	return ts, nil
+}
+
+// SaveCA persists the CA's signing key, for test/demo grids only.
+func SaveCA(ca *CA, path string) error {
+	data, err := json.MarshalIndent(identityFile{
+		Credential: &Credential{Subject: ca.Name, PublicKey: ca.pub},
+		Key:        ca.key,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o600)
+}
+
+// LoadCA reads a CA written by SaveCA.
+func LoadCA(path string) (*CA, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f identityFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("gsi: parse %s: %w", path, err)
+	}
+	if f.Credential == nil || len(f.Key) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("gsi: %s is not a valid CA file", path)
+	}
+	return &CA{Name: f.Credential.Subject, pub: f.Credential.PublicKey, key: f.Key}, nil
+}

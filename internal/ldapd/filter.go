@@ -1,0 +1,227 @@
+package ldapd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// node is a parsed search filter.
+type node struct {
+	op       byte // '&', '|', '!', '=', '>', '<', 'p' (presence)
+	kids     []*node
+	attr     string
+	value    string   // for =, >=, <=
+	patterns []string // for substring matches: parts split on '*'
+	anchorL  bool     // pattern anchored at start
+	anchorR  bool     // pattern anchored at end
+}
+
+// parseFilter parses an RFC 4515-style filter string supporting
+// (attr=value), (attr=*), substring wildcards, (attr>=v), (attr<=v),
+// and the boolean combinators & | !.
+func parseFilter(s string) (*node, error) {
+	p := &fparser{s: s}
+	n, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("%w: trailing data at %d in %q", ErrBadFilter, p.i, s)
+	}
+	return n, nil
+}
+
+type fparser struct {
+	s string
+	i int
+}
+
+func (p *fparser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *fparser) parse() (*node, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) || p.s[p.i] != '(' {
+		return nil, fmt.Errorf("%w: expected '(' at %d in %q", ErrBadFilter, p.i, p.s)
+	}
+	p.i++
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return nil, fmt.Errorf("%w: unexpected end in %q", ErrBadFilter, p.s)
+	}
+	var n *node
+	switch p.s[p.i] {
+	case '&', '|':
+		op := p.s[p.i]
+		p.i++
+		n = &node{op: op}
+		for {
+			p.skipSpace()
+			if p.i < len(p.s) && p.s[p.i] == ')' {
+				break
+			}
+			kid, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			n.kids = append(n.kids, kid)
+		}
+		if len(n.kids) == 0 {
+			return nil, fmt.Errorf("%w: empty %c in %q", ErrBadFilter, op, p.s)
+		}
+	case '!':
+		p.i++
+		kid, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		n = &node{op: '!', kids: []*node{kid}}
+		p.skipSpace()
+	default:
+		var err error
+		n, err = p.parseSimple()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.i >= len(p.s) || p.s[p.i] != ')' {
+		return nil, fmt.Errorf("%w: expected ')' at %d in %q", ErrBadFilter, p.i, p.s)
+	}
+	p.i++
+	return n, nil
+}
+
+func (p *fparser) parseSimple() (*node, error) {
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != '=' && p.s[p.i] != '>' && p.s[p.i] != '<' && p.s[p.i] != ')' {
+		p.i++
+	}
+	if p.i >= len(p.s) || p.s[p.i] == ')' {
+		return nil, fmt.Errorf("%w: missing comparator in %q", ErrBadFilter, p.s)
+	}
+	attr := strings.ToLower(strings.TrimSpace(p.s[start:p.i]))
+	if attr == "" {
+		return nil, fmt.Errorf("%w: empty attribute in %q", ErrBadFilter, p.s)
+	}
+	var op byte
+	switch p.s[p.i] {
+	case '=':
+		op = '='
+		p.i++
+	case '>', '<':
+		op = p.s[p.i]
+		p.i++
+		if p.i >= len(p.s) || p.s[p.i] != '=' {
+			return nil, fmt.Errorf("%w: expected '=' after %c in %q", ErrBadFilter, op, p.s)
+		}
+		p.i++
+	}
+	vstart := p.i
+	for p.i < len(p.s) && p.s[p.i] != ')' {
+		p.i++
+	}
+	value := p.s[vstart:p.i]
+	n := &node{op: op, attr: attr, value: value}
+	if op == '=' {
+		if value == "*" {
+			n.op = 'p'
+		} else if strings.Contains(value, "*") {
+			n.patterns = strings.Split(value, "*")
+			n.anchorL = !strings.HasPrefix(value, "*")
+			n.anchorR = !strings.HasSuffix(value, "*")
+		}
+	}
+	return n, nil
+}
+
+// matches evaluates the filter against an entry. Attribute comparison is
+// case-insensitive for values, as common LDAP matching rules are.
+func (n *node) matches(e *Entry) bool {
+	switch n.op {
+	case '&':
+		for _, k := range n.kids {
+			if !k.matches(e) {
+				return false
+			}
+		}
+		return true
+	case '|':
+		for _, k := range n.kids {
+			if k.matches(e) {
+				return true
+			}
+		}
+		return false
+	case '!':
+		return !n.kids[0].matches(e)
+	case 'p':
+		return len(e.Attrs[n.attr]) > 0
+	case '=':
+		for _, v := range e.Attrs[n.attr] {
+			if n.patterns != nil {
+				if matchSubstring(strings.ToLower(v), n) {
+					return true
+				}
+			} else if strings.EqualFold(v, n.value) {
+				return true
+			}
+		}
+		return false
+	case '>', '<':
+		for _, v := range e.Attrs[n.attr] {
+			if compareOrdered(v, n.value, n.op) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// compareOrdered compares numerically when both sides parse as numbers,
+// lexically otherwise. op is '>' for >= and '<' for <=.
+func compareOrdered(v, bound string, op byte) bool {
+	fv, errV := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	fb, errB := strconv.ParseFloat(strings.TrimSpace(bound), 64)
+	if errV == nil && errB == nil {
+		if op == '>' {
+			return fv >= fb
+		}
+		return fv <= fb
+	}
+	if op == '>' {
+		return v >= bound
+	}
+	return v <= bound
+}
+
+func matchSubstring(v string, n *node) bool {
+	parts := n.patterns
+	s := v
+	for i, part := range parts {
+		part = strings.ToLower(part)
+		if part == "" {
+			continue
+		}
+		idx := strings.Index(s, part)
+		if idx < 0 {
+			return false
+		}
+		if i == 0 && n.anchorL && idx != 0 {
+			return false
+		}
+		s = s[idx+len(part):]
+	}
+	if n.anchorR {
+		last := strings.ToLower(parts[len(parts)-1])
+		if last != "" && !strings.HasSuffix(v, last) {
+			return false
+		}
+	}
+	return true
+}

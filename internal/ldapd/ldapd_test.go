@@ -1,0 +1,300 @@
+package ldapd
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// figure6Dir builds the replica catalog of the paper's Figure 6 as a DIT.
+func figure6Dir(t *testing.T) *Dir {
+	t.Helper()
+	d := NewDir()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.Add("o=esg", map[string][]string{"objectclass": {"organization"}}))
+	must(d.Add("lc=CO2 measurements 1998,o=esg", map[string][]string{
+		"objectclass": {"logicalcollection"},
+		"filename":    {"jan98.nc", "feb98.nc", "mar98.nc"},
+	}))
+	must(d.Add("lc=CO2 measurements 1999,o=esg", map[string][]string{
+		"objectclass": {"logicalcollection"},
+		"filename":    {"jan99.nc"},
+	}))
+	must(d.Add("loc=jupiter.isi.edu,lc=CO2 measurements 1998,o=esg", map[string][]string{
+		"objectclass": {"location"},
+		"protocol":    {"gsiftp"},
+		"hostname":    {"jupiter.isi.edu"},
+		"path":        {"/data/co2"},
+		"filename":    {"jan98.nc", "feb98.nc"},
+	}))
+	must(d.Add("loc=sprite.llnl.gov,lc=CO2 measurements 1998,o=esg", map[string][]string{
+		"objectclass": {"location"},
+		"protocol":    {"gsiftp"},
+		"hostname":    {"sprite.llnl.gov"},
+		"path":        {"/pcmdi/co2"},
+		"filename":    {"jan98.nc", "feb98.nc", "mar98.nc"},
+	}))
+	must(d.Add("lf=jan98.nc,lc=CO2 measurements 1998,o=esg", map[string][]string{
+		"objectclass": {"logicalfile"},
+		"size":        {"1048576000"},
+	}))
+	return d
+}
+
+func TestAddRequiresParent(t *testing.T) {
+	d := NewDir()
+	err := d.Add("loc=x,lc=y,o=esg", nil)
+	if !errors.Is(err, ErrNoSuchParent) {
+		t.Fatalf("err = %v, want ErrNoSuchParent", err)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	d := NewDir()
+	d.Add("o=esg", nil)
+	if err := d.Add("o=esg", nil); !errors.Is(err, ErrEntryExists) {
+		t.Fatalf("err = %v, want ErrEntryExists", err)
+	}
+}
+
+func TestDNNormalization(t *testing.T) {
+	d := NewDir()
+	if err := d.Add("O=ESG", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Attribute name case-folds; value case preserved.
+	es, err := d.Search("o=ESG", ScopeBase, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 1 || es[0].DN != "o=ESG" {
+		t.Fatalf("got %v", es)
+	}
+	if _, err := NormalizeDN("nonsense"); !errors.Is(err, ErrBadDN) {
+		t.Fatalf("NormalizeDN accepted garbage: %v", err)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	d := figure6Dir(t)
+	base, _ := d.Search("o=esg", ScopeBase, "")
+	if len(base) != 1 {
+		t.Fatalf("base: %d entries, want 1", len(base))
+	}
+	one, _ := d.Search("o=esg", ScopeOne, "")
+	if len(one) != 2 {
+		t.Fatalf("one: %d entries, want 2 collections", len(one))
+	}
+	sub, _ := d.Search("o=esg", ScopeSub, "")
+	if len(sub) != 6 {
+		t.Fatalf("sub: %d entries, want 6", len(sub))
+	}
+}
+
+func TestSearchFilters(t *testing.T) {
+	d := figure6Dir(t)
+	cases := []struct {
+		filter string
+		want   int
+	}{
+		{"(objectclass=location)", 2},
+		{"(objectclass=LOCATION)", 2}, // value match is case-insensitive
+		{"(hostname=jupiter.isi.edu)", 1},
+		{"(&(objectclass=location)(filename=mar98.nc))", 1},
+		{"(|(hostname=jupiter.isi.edu)(hostname=sprite.llnl.gov))", 2},
+		{"(!(objectclass=location))", 4},
+		{"(filename=*98.nc)", 3}, // 1998 collection + both locations
+		{"(filename=jan*)", 4},
+		{"(hostname=*isi*)", 1},
+		{"(size>=1000000000)", 1},
+		{"(size<=1000)", 0},
+		{"(hostname=*)", 2},
+		{"(&(objectclass=location)(|(filename=mar98.nc)(hostname=jupiter.isi.edu)))", 2},
+	}
+	for _, tc := range cases {
+		got, err := d.Search("o=esg", ScopeSub, tc.filter)
+		if err != nil {
+			t.Errorf("%s: %v", tc.filter, err)
+			continue
+		}
+		if len(got) != tc.want {
+			t.Errorf("%s: %d entries, want %d", tc.filter, len(got), tc.want)
+		}
+	}
+}
+
+func TestFilterParseErrors(t *testing.T) {
+	for _, f := range []string{
+		"objectclass=x", "(objectclass=x", "()", "(&)", "((a=b))", "(a>b)", "(=x)",
+	} {
+		if _, err := parseFilter(f); err == nil {
+			t.Errorf("parseFilter(%q) succeeded, want error", f)
+		}
+	}
+}
+
+func TestModifySemantics(t *testing.T) {
+	d := figure6Dir(t)
+	dn := "loc=jupiter.isi.edu,lc=CO2 measurements 1998,o=esg"
+	// Add a file to the partial location.
+	if err := d.Modify(dn, []Mod{{Op: ModAdd, Attr: "filename", Values: []string{"mar98.nc"}}}); err != nil {
+		t.Fatal(err)
+	}
+	es, _ := d.Search(dn, ScopeBase, "(filename=mar98.nc)")
+	if len(es) != 1 {
+		t.Fatal("ModAdd did not take effect")
+	}
+	// Delete one value.
+	if err := d.Modify(dn, []Mod{{Op: ModDelete, Attr: "filename", Values: []string{"jan98.nc"}}}); err != nil {
+		t.Fatal(err)
+	}
+	es, _ = d.Search(dn, ScopeBase, "")
+	if got := es[0].GetAll("filename"); len(got) != 2 {
+		t.Fatalf("filenames after delete = %v", got)
+	}
+	// Replace.
+	if err := d.Modify(dn, []Mod{{Op: ModReplace, Attr: "path", Values: []string{"/new"}}}); err != nil {
+		t.Fatal(err)
+	}
+	es, _ = d.Search(dn, ScopeBase, "")
+	if es[0].Get("path") != "/new" {
+		t.Fatal("ModReplace did not take effect")
+	}
+	// Deleting a missing value fails atomically.
+	err := d.Modify(dn, []Mod{
+		{Op: ModAdd, Attr: "extra", Values: []string{"v"}},
+		{Op: ModDelete, Attr: "filename", Values: []string{"nope.nc"}},
+	})
+	if err == nil {
+		t.Fatal("delete of missing value succeeded")
+	}
+	es, _ = d.Search(dn, ScopeBase, "")
+	if es[0].Get("extra") != "" {
+		t.Fatal("failed Modify was partially applied")
+	}
+}
+
+func TestDeleteLeafOnly(t *testing.T) {
+	d := figure6Dir(t)
+	if err := d.Delete("lc=CO2 measurements 1998,o=esg"); !errors.Is(err, ErrNotLeaf) {
+		t.Fatalf("err = %v, want ErrNotLeaf", err)
+	}
+	if err := d.Delete("lf=jan98.nc,lc=CO2 measurements 1998,o=esg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("lf=jan98.nc,lc=CO2 measurements 1998,o=esg"); !errors.Is(err, ErrNoSuchEntry) {
+		t.Fatalf("second delete: %v, want ErrNoSuchEntry", err)
+	}
+}
+
+func TestSearchResultsAreClones(t *testing.T) {
+	d := figure6Dir(t)
+	es, _ := d.Search("o=esg", ScopeBase, "")
+	es[0].Attrs["objectclass"][0] = "mutated"
+	es2, _ := d.Search("o=esg", ScopeBase, "")
+	if es2[0].Get("objectclass") == "mutated" {
+		t.Fatal("search results alias directory storage")
+	}
+}
+
+func TestLDIFRoundTrip(t *testing.T) {
+	d := figure6Dir(t)
+	var b strings.Builder
+	if err := d.DumpLDIF(&b); err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDir()
+	if err := d2.LoadLDIF(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("round trip: %d entries, want %d", d2.Len(), d.Len())
+	}
+	var b2 strings.Builder
+	d2.DumpLDIF(&b2)
+	if b.String() != b2.String() {
+		t.Fatal("LDIF round trip not stable")
+	}
+}
+
+func TestLDIFComments(t *testing.T) {
+	d := NewDir()
+	err := d.LoadLDIF(strings.NewReader("# fixture\ndn: o=esg\nobjectclass: organization\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 {
+		t.Fatalf("entries = %d", d.Len())
+	}
+}
+
+// TestDirInvariantsUnderRandomOps drives random add/delete/modify
+// operations and checks structural invariants: every entry's parent
+// exists, children index matches entries.
+func TestDirInvariantsUnderRandomOps(t *testing.T) {
+	d := NewDir()
+	d.Add("o=esg", nil)
+	rng := uint64(12345)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	var dns []string
+	dns = append(dns, "o=esg")
+	for i := 0; i < 2000; i++ {
+		switch next(3) {
+		case 0: // add under random parent
+			parent := dns[next(len(dns))]
+			dn := fmt.Sprintf("cn=e%d,%s", i, parent)
+			if err := d.Add(dn, map[string][]string{"seq": {fmt.Sprint(i)}}); err == nil {
+				dns = append(dns, dn)
+			}
+		case 1: // delete random
+			dn := dns[next(len(dns))]
+			if err := d.Delete(dn); err == nil {
+				for j, x := range dns {
+					if x == dn {
+						dns = append(dns[:j], dns[j+1:]...)
+						break
+					}
+				}
+			}
+		case 2: // modify random
+			dn := dns[next(len(dns))]
+			d.Modify(dn, []Mod{{Op: ModReplace, Attr: "touched", Values: []string{"y"}}})
+		}
+	}
+	// Invariants.
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for dn := range d.entries {
+		if p := ParentDN(dn); p != "" {
+			if _, ok := d.entries[p]; !ok {
+				t.Fatalf("entry %s has missing parent %s", dn, p)
+			}
+		}
+	}
+	childCount := 0
+	for p, kids := range d.children {
+		for _, c := range kids {
+			childCount++
+			if _, ok := d.entries[c]; !ok {
+				t.Fatalf("children index lists missing entry %s", c)
+			}
+			if ParentDN(c) != p {
+				t.Fatalf("children index wrong parent for %s", c)
+			}
+		}
+	}
+	if childCount != len(d.entries) {
+		t.Fatalf("children index has %d entries, tree has %d", childCount, len(d.entries))
+	}
+}

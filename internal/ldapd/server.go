@@ -1,0 +1,213 @@
+package ldapd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// wire messages for the framed directory protocol.
+type request struct {
+	Op     string              `json:"op"` // add, modify, delete, search
+	DN     string              `json:"dn,omitempty"`
+	Attrs  map[string][]string `json:"attrs,omitempty"`
+	Mods   []wireMod           `json:"mods,omitempty"`
+	Base   string              `json:"base,omitempty"`
+	Scope  int                 `json:"scope,omitempty"`
+	Filter string              `json:"filter,omitempty"`
+}
+
+type wireMod struct {
+	Op     int      `json:"op"`
+	Attr   string   `json:"attr"`
+	Values []string `json:"values,omitempty"`
+}
+
+type response struct {
+	Err     string      `json:"err,omitempty"`
+	Entries []wireEntry `json:"entries,omitempty"`
+}
+
+type wireEntry struct {
+	DN    string              `json:"dn"`
+	Attrs map[string][]string `json:"attrs"`
+}
+
+// Server exposes a Dir over a transport listener.
+type Server struct {
+	dir *Dir
+	clk vtime.Clock
+
+	mu       sync.Mutex
+	listener transport.Listener
+	closed   bool
+}
+
+// NewServer wraps dir for network service.
+func NewServer(dir *Dir, clk vtime.Clock) *Server {
+	return &Server{dir: dir, clk: clk}
+}
+
+// Serve accepts and handles connections until the listener is closed.
+// Each connection is handled on its own clock-managed goroutine.
+func (s *Server) Serve(l transport.Listener) {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.clk.Go(func() { s.handle(c) })
+	}
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+}
+
+func (s *Server) handle(c transport.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		var req request
+		if err := transport.ReadJSON(br, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := transport.WriteJSON(c, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) *response {
+	var err error
+	resp := &response{}
+	switch req.Op {
+	case "add":
+		err = s.dir.Add(req.DN, req.Attrs)
+	case "modify":
+		mods := make([]Mod, len(req.Mods))
+		for i, m := range req.Mods {
+			mods[i] = Mod{Op: ModOp(m.Op), Attr: m.Attr, Values: m.Values}
+		}
+		err = s.dir.Modify(req.DN, mods)
+	case "delete":
+		err = s.dir.Delete(req.DN)
+	case "search":
+		var entries []*Entry
+		entries, err = s.dir.Search(req.Base, Scope(req.Scope), req.Filter)
+		for _, e := range entries {
+			resp.Entries = append(resp.Entries, wireEntry{DN: e.DN, Attrs: e.Attrs})
+		}
+	default:
+		err = fmt.Errorf("ldapd: unknown op %q", req.Op)
+	}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// Client speaks the directory protocol over a single connection. It is
+// safe for concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn transport.Conn
+	br   *bufio.Reader
+}
+
+// Dial connects a client to the directory server at addr.
+func Dial(d transport.Dialer, addr string) (*Client, error) {
+	c, err := d.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: c, br: bufio.NewReader(c)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := transport.WriteJSON(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := transport.ReadJSON(c.br, &resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, net.ErrClosed
+		}
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, mapError(resp.Err)
+	}
+	return &resp, nil
+}
+
+// mapError rehydrates well-known sentinel errors from the wire so callers
+// can use errors.Is across the network boundary.
+func mapError(msg string) error {
+	for _, sentinel := range []error{
+		ErrNoSuchEntry, ErrEntryExists, ErrNotLeaf, ErrNoSuchParent, ErrBadDN, ErrBadFilter, ErrNoSuchAttr,
+	} {
+		if len(msg) >= len(sentinel.Error()) && msg[:len(sentinel.Error())] == sentinel.Error() {
+			return fmt.Errorf("%w%s", sentinel, msg[len(sentinel.Error()):])
+		}
+	}
+	return errors.New(msg)
+}
+
+// Add implements Directory.
+func (c *Client) Add(dn string, attrs map[string][]string) error {
+	_, err := c.roundTrip(&request{Op: "add", DN: dn, Attrs: attrs})
+	return err
+}
+
+// Modify implements Directory.
+func (c *Client) Modify(dn string, mods []Mod) error {
+	wm := make([]wireMod, len(mods))
+	for i, m := range mods {
+		wm[i] = wireMod{Op: int(m.Op), Attr: m.Attr, Values: m.Values}
+	}
+	_, err := c.roundTrip(&request{Op: "modify", DN: dn, Mods: wm})
+	return err
+}
+
+// Delete implements Directory.
+func (c *Client) Delete(dn string) error {
+	_, err := c.roundTrip(&request{Op: "delete", DN: dn})
+	return err
+}
+
+// Search implements Directory.
+func (c *Client) Search(base string, scope Scope, filter string) ([]*Entry, error) {
+	resp, err := c.roundTrip(&request{Op: "search", Base: base, Scope: int(scope), Filter: filter})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Entry, len(resp.Entries))
+	for i, we := range resp.Entries {
+		out[i] = &Entry{DN: we.DN, Attrs: we.Attrs}
+	}
+	return out, nil
+}
+
+var _ Directory = (*Client)(nil)

@@ -1,0 +1,121 @@
+package ldapd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+// TestClientServerOverSimnet exercises the directory protocol end to end
+// over the simulated WAN, as the ESG catalogs are accessed in experiments.
+func TestClientServerOverSimnet(t *testing.T) {
+	clk := vtime.NewSim(1)
+	clk.Run(func() {
+		n := simnet.New(clk)
+		isi := n.AddHost("isi", simnet.HostConfig{})
+		anl := n.AddHost("anl", simnet.HostConfig{})
+		n.AddLink("isi", "anl", simnet.LinkConfig{CapacityBps: 100e6, Delay: 15 * time.Millisecond})
+
+		dir := NewDir()
+		srv := NewServer(dir, clk)
+		l, err := isi.Listen(":3890")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.Go(func() { srv.Serve(l) })
+
+		cli, err := Dial(anl, "isi:3890")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+
+		if err := cli.Add("o=esg", map[string][]string{"objectclass": {"organization"}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Add("lc=ncar-ccm3,o=esg", map[string][]string{
+			"objectclass": {"logicalcollection"},
+			"filename":    {"t42.nc"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		t0 := clk.Now()
+		es, err := cli.Search("o=esg", ScopeSub, "(filename=*)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != 1 || es[0].Get("filename") != "t42.nc" {
+			t.Fatalf("search over network returned %v", es)
+		}
+		// A remote search costs at least one WAN round trip (30ms).
+		if d := clk.Now().Sub(t0); d < 30*time.Millisecond {
+			t.Fatalf("remote search took %v, want >= 1 RTT", d)
+		}
+		// Sentinel errors survive the wire.
+		if err := cli.Delete("o=missing"); !errors.Is(err, ErrNoSuchEntry) {
+			t.Fatalf("remote delete err = %v, want ErrNoSuchEntry", err)
+		}
+		if err := cli.Modify("lc=ncar-ccm3,o=esg", []Mod{{Op: ModAdd, Attr: "filename", Values: []string{"t85.nc"}}}); err != nil {
+			t.Fatal(err)
+		}
+		es, _ = cli.Search("lc=ncar-ccm3,o=esg", ScopeBase, "")
+		if got := es[0].GetAll("filename"); len(got) != 2 {
+			t.Fatalf("after remote modify: %v", got)
+		}
+		srv.Close()
+	})
+}
+
+func TestConcurrentClients(t *testing.T) {
+	clk := vtime.NewSim(2)
+	clk.Run(func() {
+		n := simnet.New(clk)
+		hub := n.AddHost("hub", simnet.HostConfig{})
+		dir := NewDir()
+		dir.Add("o=esg", nil)
+		srv := NewServer(dir, clk)
+		l, _ := hub.Listen(":3890")
+		clk.Go(func() { srv.Serve(l) })
+
+		var hosts []*simnet.Host
+		for _, name := range []string{"c1", "c2", "c3", "c4"} {
+			h := n.AddHost(name, simnet.HostConfig{})
+			n.AddLink(name, "hub", simnet.LinkConfig{CapacityBps: 100e6, Delay: 5 * time.Millisecond})
+			hosts = append(hosts, h)
+		}
+		wg := vtime.NewWaitGroup(clk)
+		for i, h := range hosts {
+			i, h := i, h
+			wg.Go(func() {
+				cli, err := Dial(h, "hub:3890")
+				if err != nil {
+					t.Errorf("dial: %v", err)
+					return
+				}
+				defer cli.Close()
+				for j := 0; j < 10; j++ {
+					dn := entryDN(i, j)
+					if err := cli.Add(dn, map[string][]string{"owner": {h.Name()}}); err != nil {
+						t.Errorf("add %s: %v", dn, err)
+					}
+				}
+			})
+		}
+		wg.Wait()
+		es, err := dir.Search("o=esg", ScopeSub, "(owner=*)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(es) != 40 {
+			t.Fatalf("concurrent adds: %d entries, want 40", len(es))
+		}
+		srv.Close()
+	})
+}
+
+func entryDN(i, j int) string {
+	return "cn=c" + string(rune('1'+i)) + "-" + string(rune('a'+j)) + ",o=esg"
+}

@@ -1,0 +1,181 @@
+// Package mds reproduces the role of the Metacomputing/Monitoring and
+// Discovery Service (Czajkowski et al. 2001) in the ESG prototype: a
+// directory-backed information service in which grid resources (hosts,
+// storage systems, GridFTP servers) register themselves and through which
+// the Network Weather Service publishes its bandwidth and latency
+// forecasts (§5: "NWS information is accessed by the MDS information
+// service"). The request manager reads replica-selection inputs from
+// here, never from NWS directly, exactly as in the paper.
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"esgrid/internal/ldapd"
+)
+
+// Base is the default DIT suffix for the ESG virtual organization.
+const Base = "mds-vo-name=esg"
+
+// Service is an MDS view over a directory.
+type Service struct {
+	dir  ldapd.Directory
+	base string
+}
+
+// New returns a Service rooted at Base, creating the root entry if this
+// directory does not have one yet.
+func New(dir ldapd.Directory) (*Service, error) {
+	s := &Service{dir: dir, base: Base}
+	err := dir.Add(Base, map[string][]string{"objectclass": {"mdsvo"}})
+	if err != nil && !isExists(err) {
+		return nil, err
+	}
+	for _, ou := range []string{"ou=hosts", "ou=network", "ou=services"} {
+		if err := dir.Add(ou+","+Base, map[string][]string{"objectclass": {"organizationalunit"}}); err != nil && !isExists(err) {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func isExists(err error) bool { return errors.Is(err, ldapd.ErrEntryExists) }
+
+// HostInfo describes a registered compute/storage host.
+type HostInfo struct {
+	Name     string
+	Site     string
+	Services []string // e.g. "gridftp:2811", "hrm:4000"
+}
+
+// RegisterHost upserts a host record.
+func (s *Service) RegisterHost(h HostInfo) error {
+	dn := fmt.Sprintf("hn=%s,ou=hosts,%s", h.Name, s.base)
+	attrs := map[string][]string{
+		"objectclass": {"grishost"},
+		"hn":          {h.Name},
+		"site":        {h.Site},
+	}
+	if len(h.Services) > 0 {
+		attrs["service"] = h.Services
+	}
+	err := s.dir.Add(dn, attrs)
+	if isExists(err) {
+		mods := []ldapd.Mod{
+			{Op: ldapd.ModReplace, Attr: "site", Values: []string{h.Site}},
+			{Op: ldapd.ModReplace, Attr: "service", Values: h.Services},
+		}
+		return s.dir.Modify(dn, mods)
+	}
+	return err
+}
+
+// Hosts lists registered hosts, optionally filtered by site ("" = all).
+func (s *Service) Hosts(site string) ([]HostInfo, error) {
+	filter := "(objectclass=grishost)"
+	if site != "" {
+		filter = fmt.Sprintf("(&(objectclass=grishost)(site=%s))", site)
+	}
+	es, err := s.dir.Search("ou=hosts,"+s.base, ldapd.ScopeSub, filter)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HostInfo, 0, len(es))
+	for _, e := range es {
+		out = append(out, HostInfo{
+			Name:     e.Get("hn"),
+			Site:     e.Get("site"),
+			Services: e.GetAll("service"),
+		})
+	}
+	return out, nil
+}
+
+// NetForecast is one published NWS forecast for a directed host pair.
+type NetForecast struct {
+	From, To     string
+	BandwidthBps float64       // forecast available bandwidth
+	Latency      time.Duration // forecast round-trip latency
+	ErrBps       float64       // forecaster's error estimate (MAE)
+	Measured     time.Time     // when the underlying measurement was taken
+}
+
+func pairDN(base, from, to string) string {
+	return fmt.Sprintf("np=%s->%s,ou=network,%s", from, to, base)
+}
+
+// PublishForecast upserts the forecast record for a host pair.
+func (s *Service) PublishForecast(f NetForecast) error {
+	dn := pairDN(s.base, f.From, f.To)
+	vals := map[string][]string{
+		"objectclass":  {"nwsforecast"},
+		"from":         {f.From},
+		"to":           {f.To},
+		"bandwidthbps": {formatFloat(f.BandwidthBps)},
+		"latencyns":    {strconv.FormatInt(int64(f.Latency), 10)},
+		"errbps":       {formatFloat(f.ErrBps)},
+		"measured":     {f.Measured.UTC().Format(time.RFC3339Nano)},
+	}
+	err := s.dir.Add(dn, vals)
+	if isExists(err) {
+		mods := make([]ldapd.Mod, 0, len(vals))
+		for k, v := range vals {
+			mods = append(mods, ldapd.Mod{Op: ldapd.ModReplace, Attr: k, Values: v})
+		}
+		return s.dir.Modify(dn, mods)
+	}
+	return err
+}
+
+// Forecast retrieves the forecast for a directed pair, or an error if no
+// measurement has been published.
+func (s *Service) Forecast(from, to string) (NetForecast, error) {
+	es, err := s.dir.Search(pairDN(s.base, from, to), ldapd.ScopeBase, "")
+	if err != nil {
+		return NetForecast{}, fmt.Errorf("mds: no forecast for %s->%s: %w", from, to, err)
+	}
+	return decodeForecast(es[0])
+}
+
+// AllForecasts returns every published pair forecast.
+func (s *Service) AllForecasts() ([]NetForecast, error) {
+	es, err := s.dir.Search("ou=network,"+s.base, ldapd.ScopeSub, "(objectclass=nwsforecast)")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NetForecast, 0, len(es))
+	for _, e := range es {
+		f, err := decodeForecast(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func decodeForecast(e *ldapd.Entry) (NetForecast, error) {
+	bw, err := strconv.ParseFloat(e.Get("bandwidthbps"), 64)
+	if err != nil {
+		return NetForecast{}, fmt.Errorf("mds: bad bandwidth in %s: %w", e.DN, err)
+	}
+	lat, err := strconv.ParseInt(e.Get("latencyns"), 10, 64)
+	if err != nil {
+		return NetForecast{}, fmt.Errorf("mds: bad latency in %s: %w", e.DN, err)
+	}
+	errBps, _ := strconv.ParseFloat(e.Get("errbps"), 64)
+	measured, _ := time.Parse(time.RFC3339Nano, e.Get("measured"))
+	return NetForecast{
+		From:         e.Get("from"),
+		To:           e.Get("to"),
+		BandwidthBps: bw,
+		Latency:      time.Duration(lat),
+		ErrBps:       errBps,
+		Measured:     measured,
+	}, nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,82 @@
+package mds
+
+import (
+	"testing"
+	"time"
+
+	"esgrid/internal/ldapd"
+)
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	s, err := New(ldapd.NewDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestForecastRoundTrip(t *testing.T) {
+	s := testService(t)
+	want := NetForecast{
+		From: "lbnl", To: "llnl",
+		BandwidthBps: 512.9e6,
+		Latency:      18 * time.Millisecond,
+		ErrBps:       12.5e6,
+		Measured:     time.Date(2000, 11, 7, 9, 30, 0, 0, time.UTC),
+	}
+	if err := s.PublishForecast(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Forecast("lbnl", "llnl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BandwidthBps != want.BandwidthBps || got.Latency != want.Latency ||
+		got.ErrBps != want.ErrBps || !got.Measured.Equal(want.Measured) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestForecastUpsert(t *testing.T) {
+	s := testService(t)
+	f := NetForecast{From: "a", To: "b", BandwidthBps: 100e6, Latency: time.Millisecond}
+	s.PublishForecast(f)
+	f.BandwidthBps = 50e6
+	if err := s.PublishForecast(f); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Forecast("a", "b")
+	if got.BandwidthBps != 50e6 {
+		t.Fatalf("update lost: %v", got.BandwidthBps)
+	}
+	all, err := s.AllForecasts()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("all = %v, %v", all, err)
+	}
+}
+
+func TestForecastDirectionality(t *testing.T) {
+	s := testService(t)
+	s.PublishForecast(NetForecast{From: "a", To: "b", BandwidthBps: 1})
+	if _, err := s.Forecast("b", "a"); err == nil {
+		t.Fatal("reverse direction should have no forecast")
+	}
+}
+
+func TestForecastMissing(t *testing.T) {
+	s := testService(t)
+	if _, err := s.Forecast("x", "y"); err == nil {
+		t.Fatal("missing forecast returned")
+	}
+}
+
+func TestNewIsIdempotent(t *testing.T) {
+	dir := ldapd.NewDir()
+	if _, err := New(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package metadata
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"esgrid/internal/climate"
+	"esgrid/internal/ldapd"
+)
+
+func month(y, m int) time.Time { return time.Date(y, time.Month(m), 1, 0, 0, 0, 0, time.UTC) }
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := New(ldapd.NewDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.RegisterDataset(Dataset{
+		Name:       "pcm-b06.22",
+		Model:      "pcm",
+		Collection: "pcm-b06.22-monthly",
+		Comment:    "PCM coupled run, years 1998-1999",
+		Variables:  []string{climate.VarTemperature, climate.VarPrecipitation, climate.VarCloudCover},
+		From:       month(1998, 1),
+		To:         month(1999, 12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	c := testCatalog(t)
+	ds, err := c.Lookup("pcm-b06.22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Model != "pcm" || len(ds.Variables) != 3 {
+		t.Fatalf("dataset = %+v", ds)
+	}
+	if !ds.From.Equal(month(1998, 1)) || !ds.To.Equal(month(1999, 12)) {
+		t.Fatalf("range = %v..%v", ds.From, ds.To)
+	}
+	all, err := c.Datasets()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("datasets = %v, %v", all, err)
+	}
+	if _, err := c.Lookup("nope"); !errors.Is(err, ErrNoSuchDataset) {
+		t.Fatalf("lookup missing: %v", err)
+	}
+}
+
+func TestResolveVariableAndTimeWindow(t *testing.T) {
+	c := testCatalog(t)
+	coll, files, err := c.Resolve(Query{
+		Dataset:   "pcm-b06.22",
+		Variables: []string{climate.VarTemperature},
+		From:      month(1998, 11),
+		To:        month(1999, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll != "pcm-b06.22-monthly" {
+		t.Fatalf("collection = %q", coll)
+	}
+	if len(files) != 4 {
+		t.Fatalf("files = %d, want 4 months", len(files))
+	}
+	want := map[string]bool{
+		"pcm.tas.1998-11.nc": true, "pcm.tas.1998-12.nc": true,
+		"pcm.tas.1999-01.nc": true, "pcm.tas.1999-02.nc": true,
+	}
+	for _, f := range files {
+		if !want[f.Name] {
+			t.Errorf("unexpected file %s", f.Name)
+		}
+		if f.Variable != climate.VarTemperature {
+			t.Errorf("file %s variable = %s", f.Name, f.Variable)
+		}
+		if f.Size != climate.LogicalSizeBytes(climate.VarTemperature) {
+			t.Errorf("file %s size = %d", f.Name, f.Size)
+		}
+	}
+}
+
+func TestResolveAllVariablesFullRange(t *testing.T) {
+	c := testCatalog(t)
+	_, files, err := c.Resolve(Query{Dataset: "pcm-b06.22"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 24*3 {
+		t.Fatalf("files = %d, want 72 (24 months x 3 vars)", len(files))
+	}
+}
+
+func TestResolveMultipleVariables(t *testing.T) {
+	c := testCatalog(t)
+	_, files, err := c.Resolve(Query{
+		Dataset:   "pcm-b06.22",
+		Variables: []string{climate.VarPrecipitation, climate.VarCloudCover},
+		From:      month(1999, 6),
+		To:        month(1999, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files = %d, want 2", len(files))
+	}
+}
+
+func TestResolveEmptyWindow(t *testing.T) {
+	c := testCatalog(t)
+	_, _, err := c.Resolve(Query{
+		Dataset: "pcm-b06.22",
+		From:    month(2005, 1),
+		To:      month(2005, 12),
+	})
+	if !errors.Is(err, ErrNoFiles) {
+		t.Fatalf("err = %v, want ErrNoFiles", err)
+	}
+}
+
+func TestResolveUnknownDataset(t *testing.T) {
+	c := testCatalog(t)
+	if _, _, err := c.Resolve(Query{Dataset: "nope"}); !errors.Is(err, ErrNoSuchDataset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestYearBoundarySpans(t *testing.T) {
+	c := testCatalog(t)
+	_, files, err := c.Resolve(Query{
+		Dataset:   "pcm-b06.22",
+		Variables: []string{climate.VarCloudCover},
+		From:      month(1998, 12),
+		To:        month(1999, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files across year boundary = %d, want 2", len(files))
+	}
+}

@@ -1,0 +1,306 @@
+// Package nws reproduces the Network Weather Service (Wolski 1997) as the
+// ESG prototype uses it (§5): distributed sensors periodically measure
+// process-to-process bandwidth and latency between sites, a battery of
+// time-series forecasters predicts the performance deliverable over the
+// next interval, and the winning forecasts are published into MDS, where
+// the request manager reads them to pick the "best" replica.
+//
+// The forecaster design follows NWS's dynamic predictor selection: every
+// registered forecaster predicts each new measurement before seeing it;
+// the forecaster with the lowest cumulative mean absolute error so far is
+// the one whose prediction is reported.
+package nws
+
+import (
+	"math"
+	"sort"
+)
+
+// Forecaster is an online one-step-ahead predictor of a series.
+type Forecaster interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Predict returns the forecast for the next observation (NaN until
+	// the method has enough history).
+	Predict() float64
+	// Observe feeds the next actual observation.
+	Observe(v float64)
+}
+
+// LastValue predicts the previous observation.
+type LastValue struct{ last, n float64 }
+
+// Name implements Forecaster.
+func (f *LastValue) Name() string { return "last" }
+
+// Predict implements Forecaster.
+func (f *LastValue) Predict() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.last
+}
+
+// Observe implements Forecaster.
+func (f *LastValue) Observe(v float64) { f.last, f.n = v, f.n+1 }
+
+// RunningMean predicts the mean of all observations.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// Name implements Forecaster.
+func (f *RunningMean) Name() string { return "mean" }
+
+// Predict implements Forecaster.
+func (f *RunningMean) Predict() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.sum / float64(f.n)
+}
+
+// Observe implements Forecaster.
+func (f *RunningMean) Observe(v float64) { f.sum += v; f.n++ }
+
+// SlidingMedian predicts the median of the last W observations; robust to
+// the transient spikes WAN measurements show.
+type SlidingMedian struct {
+	w    int
+	ring []float64
+	i    int
+	full bool
+}
+
+// NewSlidingMedian returns a median forecaster over windows of w samples.
+func NewSlidingMedian(w int) *SlidingMedian {
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingMedian{w: w, ring: make([]float64, 0, w)}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMedian) Name() string { return "median" }
+
+// Predict implements Forecaster.
+func (f *SlidingMedian) Predict() float64 {
+	if len(f.ring) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), f.ring...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// Observe implements Forecaster.
+func (f *SlidingMedian) Observe(v float64) {
+	if len(f.ring) < f.w {
+		f.ring = append(f.ring, v)
+		return
+	}
+	f.ring[f.i] = v
+	f.i = (f.i + 1) % f.w
+}
+
+// EWMA predicts an exponentially weighted moving average.
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA forecaster with smoothing factor alpha (0..1).
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Name implements Forecaster.
+func (f *EWMA) Name() string { return "ewma" }
+
+// Predict implements Forecaster.
+func (f *EWMA) Predict() float64 {
+	if !f.init {
+		return math.NaN()
+	}
+	return f.v
+}
+
+// Observe implements Forecaster.
+func (f *EWMA) Observe(v float64) {
+	if !f.init {
+		f.v, f.init = v, true
+		return
+	}
+	f.v = f.alpha*v + (1-f.alpha)*f.v
+}
+
+// AR1 fits a first-order autoregressive model online.
+type AR1 struct {
+	n                        int
+	meanX, meanY             float64
+	sxx, sxy                 float64
+	last                     float64
+	haveLast                 bool
+	sumAll                   float64
+	countAll                 int
+	phi, intercept, fallback float64
+}
+
+// Name implements Forecaster.
+func (f *AR1) Name() string { return "ar1" }
+
+// Predict implements Forecaster.
+func (f *AR1) Predict() float64 {
+	if f.countAll == 0 {
+		return math.NaN()
+	}
+	if f.n < 3 || f.sxx == 0 {
+		return f.sumAll / float64(f.countAll)
+	}
+	return f.intercept + f.phi*f.last
+}
+
+// Observe implements Forecaster.
+func (f *AR1) Observe(v float64) {
+	f.sumAll += v
+	f.countAll++
+	if f.haveLast {
+		// Online simple regression of v on last (Welford-style updates).
+		f.n++
+		dx := f.last - f.meanX
+		f.meanX += dx / float64(f.n)
+		f.meanY += (v - f.meanY) / float64(f.n)
+		f.sxx += dx * (f.last - f.meanX)
+		f.sxy += dx * (v - f.meanY)
+		if f.sxx > 0 {
+			f.phi = f.sxy / f.sxx
+			// Clamp to a stable region; WAN series are near unit-root and
+			// an exploding phi makes terrible forecasts.
+			if f.phi > 1 {
+				f.phi = 1
+			}
+			if f.phi < -1 {
+				f.phi = -1
+			}
+			f.intercept = f.meanY - f.phi*f.meanX
+		}
+	}
+	f.last = v
+	f.haveLast = true
+}
+
+// Adaptive performs NWS-style dynamic predictor selection across a
+// battery of forecasters.
+type Adaptive struct {
+	fs   []Forecaster
+	mae  []float64
+	n    []int
+	last []float64 // predictions made before the most recent Observe
+}
+
+// NewAdaptive returns the standard NWS battery: last value, running mean,
+// sliding median, EWMA, and AR(1).
+func NewAdaptive() *Adaptive {
+	return NewAdaptiveWith(
+		&LastValue{},
+		&RunningMean{},
+		NewSlidingMedian(15),
+		NewEWMA(0.3),
+		&AR1{},
+	)
+}
+
+// NewAdaptiveWith builds an adaptive selector over a custom battery.
+func NewAdaptiveWith(fs ...Forecaster) *Adaptive {
+	a := &Adaptive{
+		fs:   fs,
+		mae:  make([]float64, len(fs)),
+		n:    make([]int, len(fs)),
+		last: make([]float64, len(fs)),
+	}
+	for i := range a.last {
+		a.last[i] = math.NaN() // no standing prediction until first Observe
+	}
+	return a
+}
+
+// Name implements Forecaster.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Observe scores each member's standing prediction against v, then feeds
+// v to every member.
+func (a *Adaptive) Observe(v float64) {
+	for i, f := range a.fs {
+		if p := a.last[i]; !math.IsNaN(p) {
+			a.mae[i] += math.Abs(p - v)
+			a.n[i]++
+		}
+		f.Observe(v)
+		a.last[i] = f.Predict()
+	}
+}
+
+// Predict returns the current best member's prediction.
+func (a *Adaptive) Predict() float64 {
+	i := a.bestIndex()
+	if i < 0 {
+		return math.NaN()
+	}
+	return a.fs[i].Predict()
+}
+
+// Best returns the name and cumulative MAE of the currently winning
+// forecaster.
+func (a *Adaptive) Best() (name string, mae float64) {
+	i := a.bestIndex()
+	if i < 0 {
+		return "", math.NaN()
+	}
+	return a.fs[i].Name(), a.mae[i] / float64(a.n[i])
+}
+
+// MAE returns the forecast error (mean absolute error) of the currently
+// selected member; callers publish it as the forecast confidence.
+func (a *Adaptive) MAE() float64 {
+	i := a.bestIndex()
+	if i < 0 || a.n[i] == 0 {
+		return math.NaN()
+	}
+	return a.mae[i] / float64(a.n[i])
+}
+
+// Errors reports per-member mean absolute error, keyed by name.
+func (a *Adaptive) Errors() map[string]float64 {
+	out := make(map[string]float64, len(a.fs))
+	for i, f := range a.fs {
+		if a.n[i] > 0 {
+			out[f.Name()] = a.mae[i] / float64(a.n[i])
+		}
+	}
+	return out
+}
+
+func (a *Adaptive) bestIndex() int {
+	best, bestScore := -1, math.Inf(1)
+	for i := range a.fs {
+		if a.n[i] == 0 {
+			continue
+		}
+		if s := a.mae[i] / float64(a.n[i]); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	if best < 0 {
+		// No scored member yet: fall back to the first with a prediction.
+		for i, f := range a.fs {
+			if !math.IsNaN(f.Predict()) {
+				return i
+			}
+		}
+	}
+	return best
+}

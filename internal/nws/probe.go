@@ -1,0 +1,106 @@
+package nws
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// This file implements NWS's active measurement mode: instead of asking
+// the simulator for an oracle estimate, a sensor performs a real probe
+// transfer between hosts and times it — exactly how Wolski's bandwidth
+// sensors work, including their well-known bias: short probes spend most
+// of their life in TCP slow start, so they underestimate the capacity of
+// fat fast paths while preserving the ranking between candidates. (The
+// paper's request manager only needs the ranking.)
+
+// DefaultProbeBytes is the probe transfer size. NWS used 64 KB-class
+// probes; a somewhat larger probe reduces (but does not remove) the
+// slow-start bias.
+const DefaultProbeBytes = 1 << 20
+
+// ServeProbes runs a probe responder on l: each connection carries an
+// 8-byte payload length, that many payload bytes, and a 1-byte ack back.
+// Run one at every measured host.
+func ServeProbes(clk vtime.Clock, l transport.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		clk.Go(func() {
+			defer c.Close()
+			var hdr [8]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				return
+			}
+			n := int64(binary.BigEndian.Uint64(hdr[:]))
+			if n < 0 || n > 1<<30 {
+				return
+			}
+			if _, err := transport.ReadVirtualFrom(c, n); err != nil {
+				return
+			}
+			c.Write([]byte{1})
+		})
+	}
+}
+
+// TransferProber measures bandwidth and latency with real probe
+// transfers from the source host to the destination's probe responder.
+type TransferProber struct {
+	clk vtime.Clock
+	// hostOf returns the transport of the named host (the sensor process
+	// running at that site).
+	hostOf func(name string) transport.Network
+	port   int
+	bytes  int64
+}
+
+// NewTransferProber builds a Prober that dials from the source host's
+// transport to <to>:<port>.
+func NewTransferProber(clk vtime.Clock, hostOf func(string) transport.Network, port int, probeBytes int64) *TransferProber {
+	if probeBytes <= 0 {
+		probeBytes = DefaultProbeBytes
+	}
+	return &TransferProber{clk: clk, hostOf: hostOf, port: port, bytes: probeBytes}
+}
+
+// Probe implements Prober.
+func (p *TransferProber) Probe(from, to string) (float64, time.Duration, error) {
+	net := p.hostOf(from)
+	if net == nil {
+		return 0, 0, fmt.Errorf("nws: no transport for host %q", from)
+	}
+	t0 := p.clk.Now()
+	c, err := net.Dial(fmt.Sprintf("%s:%d", to, p.port))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	// Connection establishment costs one RTT: the latency sample.
+	rtt := p.clk.Now().Sub(t0)
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(p.bytes))
+	tx0 := p.clk.Now()
+	if _, err := c.Write(hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	if _, err := transport.WriteVirtualTo(c, p.bytes); err != nil {
+		return 0, 0, err
+	}
+	var ack [1]byte
+	if _, err := io.ReadFull(c, ack[:]); err != nil {
+		return 0, 0, err
+	}
+	elapsed := p.clk.Now().Sub(tx0)
+	if elapsed <= 0 {
+		return 0, 0, fmt.Errorf("nws: zero-duration probe")
+	}
+	bw := float64(p.bytes) * 8 / elapsed.Seconds()
+	return bw, rtt, nil
+}

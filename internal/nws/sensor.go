@@ -1,0 +1,181 @@
+package nws
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"esgrid/internal/mds"
+	"esgrid/internal/vtime"
+)
+
+// Prober takes one bandwidth/latency measurement for a directed host
+// pair. The simulator-backed prober estimates the rate a new flow would
+// get (plus measurement noise); a real-network prober would run a short
+// probe transfer.
+type Prober interface {
+	Probe(from, to string) (bandwidthBps float64, latency time.Duration, err error)
+}
+
+// ProbeFunc adapts a function to the Prober interface.
+type ProbeFunc func(from, to string) (float64, time.Duration, error)
+
+// Probe implements Prober.
+func (f ProbeFunc) Probe(from, to string) (float64, time.Duration, error) { return f(from, to) }
+
+// Publisher receives finished forecasts; *mds.Service satisfies it.
+type Publisher interface {
+	PublishForecast(mds.NetForecast) error
+}
+
+// Sensor periodically measures one or more host pairs and publishes
+// adaptive forecasts.
+type Sensor struct {
+	clk    vtime.Clock
+	prober Prober
+	pub    Publisher
+	period time.Duration
+
+	mu      sync.Mutex
+	pairs   []pair
+	state   map[[2]string]*pairState
+	stopped bool
+	stopCh  chan struct{}
+}
+
+type pair struct{ from, to string }
+
+type pairState struct {
+	bw      *Adaptive
+	lat     *Adaptive
+	history []float64
+	lastAt  time.Time
+}
+
+// NewSensor creates a sensor taking a measurement of every registered
+// pair each period.
+func NewSensor(clk vtime.Clock, prober Prober, pub Publisher, period time.Duration) *Sensor {
+	return &Sensor{
+		clk: clk, prober: prober, pub: pub, period: period,
+		state:  map[[2]string]*pairState{},
+		stopCh: make(chan struct{}),
+	}
+}
+
+// Watch registers a directed pair for measurement.
+func (s *Sensor) Watch(from, to string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := [2]string{from, to}
+	if _, dup := s.state[key]; dup {
+		return
+	}
+	s.pairs = append(s.pairs, pair{from, to})
+	s.state[key] = &pairState{bw: NewAdaptive(), lat: NewAdaptive()}
+}
+
+// Start launches the measurement loop on the clock's scheduler.
+func (s *Sensor) Start() {
+	s.clk.Go(s.loop)
+}
+
+// Stop halts the measurement loop.
+func (s *Sensor) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stopCh)
+	}
+}
+
+func (s *Sensor) loop() {
+	for {
+		s.clk.Sleep(s.period)
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		ps := append([]pair(nil), s.pairs...)
+		s.mu.Unlock()
+		for _, p := range ps {
+			s.measureOnce(p)
+		}
+	}
+}
+
+// measureOnce probes one pair and publishes the updated forecast.
+func (s *Sensor) measureOnce(p pair) {
+	bw, lat, err := s.prober.Probe(p.from, p.to)
+	if err != nil {
+		return // transient failure (e.g. DNS outage): skip this round
+	}
+	now := s.clk.Now()
+	s.mu.Lock()
+	st := s.state[[2]string{p.from, p.to}]
+	if st == nil {
+		s.mu.Unlock()
+		return
+	}
+	st.bw.Observe(bw)
+	st.lat.Observe(float64(lat))
+	st.history = append(st.history, bw)
+	st.lastAt = now
+	fbw := st.bw.Predict()
+	flat := st.lat.Predict()
+	ferr := st.bw.MAE()
+	s.mu.Unlock()
+	if math.IsNaN(fbw) {
+		fbw = bw
+	}
+	if math.IsNaN(flat) {
+		flat = float64(lat)
+	}
+	if math.IsNaN(ferr) {
+		ferr = 0
+	}
+	if s.pub != nil {
+		_ = s.pub.PublishForecast(mds.NetForecast{
+			From: p.from, To: p.to,
+			BandwidthBps: fbw,
+			Latency:      time.Duration(flat),
+			ErrBps:       ferr,
+			Measured:     now,
+		})
+	}
+}
+
+// MeasureNow forces an immediate measurement round (useful in tests and
+// experiment warm-up).
+func (s *Sensor) MeasureNow() {
+	s.mu.Lock()
+	ps := append([]pair(nil), s.pairs...)
+	s.mu.Unlock()
+	for _, p := range ps {
+		s.measureOnce(p)
+	}
+}
+
+// History returns the raw bandwidth observations for a pair.
+func (s *Sensor) History(from, to string) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state[[2]string{from, to}]
+	if st == nil {
+		return nil
+	}
+	return append([]float64(nil), st.history...)
+}
+
+// ForecasterErrors reports the per-method bandwidth forecast errors for a
+// pair (experiment S9).
+func (s *Sensor) ForecasterErrors(from, to string) map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state[[2]string{from, to}]
+	if st == nil {
+		return nil
+	}
+	return st.bw.Errors()
+}

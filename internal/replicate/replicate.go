@@ -1,0 +1,187 @@
+// Package replicate implements the higher-level data management service
+// §6.2 builds on the replica catalog and GridFTP: "reliable creation of a
+// copy of a large data collection at a new location". The mediating
+// client drives third-party transfers between the source site and the
+// new location (§6.1), retries over alternate source replicas on
+// failure, and registers the new location in the replica catalog as
+// files land — so interrupted replication leaves a valid partial
+// location, exactly the catalog semantics Figure 6 shows.
+package replicate
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"esgrid/internal/gridftp"
+	"esgrid/internal/gsi"
+	"esgrid/internal/replica"
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// Config parameterizes a replication run.
+type Config struct {
+	// Clock and Net locate the mediating client (the user's machine in a
+	// third-party transfer); required.
+	Clock vtime.Clock
+	Net   transport.Network
+	// Catalog is consulted for source replicas and updated with the new
+	// location; required.
+	Catalog *replica.Catalog
+	// Auth authenticates control channels at both servers (optional). A
+	// delegated proxy works, as GSI intends for third-party transfers.
+	Auth *gsi.Config
+	// Parallelism is the number of TCP streams per transfer.
+	Parallelism int
+	// BufferBytes tunes the data channels.
+	BufferBytes int
+	// MaxAttempts bounds per-file attempts across source replicas.
+	MaxAttempts int
+	// Backoff separates attempts.
+	Backoff time.Duration
+}
+
+// Report summarizes a replication run.
+type Report struct {
+	Collection string
+	Dest       replica.Location
+	Copied     []string
+	Skipped    []string // already present at the destination
+	Failed     map[string]string
+	Bytes      int64
+	Elapsed    time.Duration
+}
+
+// Errors returned by Replicate.
+var (
+	ErrNoFiles = errors.New("replicate: nothing to copy")
+)
+
+// Replicate copies the named files (nil = the whole collection) of coll
+// to the destination location and registers the copy in the catalog.
+// The destination's GridFTP server must be running and writable.
+func Replicate(cfg Config, coll string, dest replica.Location, files []string) (Report, error) {
+	rep := Report{Collection: coll, Dest: dest, Failed: map[string]string{}}
+	if cfg.Clock == nil || cfg.Net == nil || cfg.Catalog == nil {
+		return rep, errors.New("replicate: config needs Clock, Net and Catalog")
+	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	if cfg.MaxAttempts < 1 {
+		cfg.MaxAttempts = 3
+	}
+	start := cfg.Clock.Now()
+	if files == nil {
+		all, err := cfg.Catalog.Files(coll)
+		if err != nil {
+			return rep, err
+		}
+		files = all
+	}
+	if len(files) == 0 {
+		return rep, ErrNoFiles
+	}
+
+	// What does the destination already hold (a partial location from an
+	// earlier, interrupted run)?
+	already := map[string]bool{}
+	destRegistered := false
+	if locs, err := cfg.Catalog.Locations(coll); err == nil {
+		for _, l := range locs {
+			if l.Host == dest.Host {
+				destRegistered = true
+				for _, f := range l.Files {
+					already[f] = true
+				}
+			}
+		}
+	}
+
+	dial := func(loc replica.Location) (*gridftp.Client, error) {
+		return gridftp.Dial(gridftp.ClientConfig{
+			Clock:       cfg.Clock,
+			Net:         cfg.Net,
+			Auth:        cfg.Auth,
+			Parallelism: cfg.Parallelism,
+			BufferBytes: cfg.BufferBytes,
+		}, fmt.Sprintf("%s:%d", loc.Host, loc.Port))
+	}
+
+	dstCli, err := dial(dest)
+	if err != nil {
+		return rep, fmt.Errorf("replicate: destination %s: %w", dest.Host, err)
+	}
+	defer dstCli.Close()
+
+	for _, name := range files {
+		if already[name] {
+			rep.Skipped = append(rep.Skipped, name)
+			continue
+		}
+		sources, err := cfg.Catalog.LocationsFor(coll, name)
+		if err != nil {
+			rep.Failed[name] = err.Error()
+			continue
+		}
+		var lastErr error
+		copied := false
+		for attempt := 0; attempt < cfg.MaxAttempts && !copied; attempt++ {
+			if attempt > 0 && cfg.Backoff > 0 {
+				cfg.Clock.Sleep(cfg.Backoff)
+			}
+			src := sources[attempt%len(sources)]
+			if src.Host == dest.Host {
+				continue
+			}
+			srcCli, err := dial(src)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			st, err := gridftp.ThirdParty(srcCli, dstCli, name, name)
+			srcCli.Close()
+			if err != nil {
+				lastErr = err
+				// The destination control session may be poisoned by a
+				// half-finished transfer; rebuild it.
+				dstCli.Close()
+				if dstCli, err = dial(dest); err != nil {
+					rep.Failed[name] = lastErr.Error()
+					return rep, fmt.Errorf("replicate: destination lost: %w", err)
+				}
+				continue
+			}
+			rep.Bytes += st.Bytes
+			copied = true
+		}
+		if !copied {
+			if lastErr == nil {
+				lastErr = errors.New("no usable source replica")
+			}
+			rep.Failed[name] = lastErr.Error()
+			continue
+		}
+		rep.Copied = append(rep.Copied, name)
+		// Register incrementally so an interrupted run leaves a valid
+		// partial location.
+		if !destRegistered {
+			loc := dest
+			loc.Files = []string{name}
+			if err := cfg.Catalog.AddLocation(coll, loc); err != nil {
+				rep.Failed[name] = err.Error()
+				continue
+			}
+			destRegistered = true
+		} else if err := cfg.Catalog.AddFilesToLocation(coll, dest.Host, name); err != nil {
+			rep.Failed[name] = err.Error()
+			continue
+		}
+	}
+	rep.Elapsed = cfg.Clock.Now().Sub(start)
+	if len(rep.Failed) > 0 {
+		return rep, fmt.Errorf("replicate: %d of %d file(s) failed", len(rep.Failed), len(files))
+	}
+	return rep, nil
+}

@@ -1,0 +1,221 @@
+package replicate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esgrid/internal/gridftp"
+	"esgrid/internal/ldapd"
+	"esgrid/internal/replica"
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+const mb = int64(1) << 20
+
+// repEnv is a three-site testbed: source holds the collection, mirror is
+// the new location, desk mediates.
+type repEnv struct {
+	clk      *vtime.Sim
+	net      *simnet.Net
+	cat      *replica.Catalog
+	srcStore *gridftp.VirtualStore
+	dstStore *gridftp.VirtualStore
+	files    []string
+}
+
+func buildRepEnv(t *testing.T, seed int64) *repEnv {
+	t.Helper()
+	clk := vtime.NewSim(seed)
+	n := simnet.New(clk)
+	n.AddNode("wan")
+	for _, h := range []string{"source", "mirror", "desk"} {
+		n.AddHost(h, simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+		n.AddLink(h, "wan", simnet.LinkConfig{CapacityBps: 622e6, Delay: 8 * time.Millisecond})
+	}
+	cat, err := replica.New(ldapd.NewDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []string{"pcm.tas.1998-01.nc", "pcm.tas.1998-02.nc", "pcm.tas.1998-03.nc"}
+	if err := cat.CreateCollection("pcm", files); err != nil {
+		t.Fatal(err)
+	}
+	src := gridftp.NewVirtualStore()
+	for _, f := range files {
+		src.Put(f, 64*mb)
+	}
+	if err := cat.AddLocation("pcm", replica.Location{
+		Host: "source", Protocol: "gsiftp", Port: 2811, Path: "/d", Files: files,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &repEnv{clk: clk, net: n, cat: cat, srcStore: src, dstStore: gridftp.NewVirtualStore(), files: files}
+}
+
+// serve starts GridFTP at source and mirror; call inside clk.Run.
+func (e *repEnv) serve(t *testing.T) {
+	t.Helper()
+	for host, store := range map[string]*gridftp.VirtualStore{"source": e.srcStore, "mirror": e.dstStore} {
+		h := e.net.Host(host)
+		srv, err := gridftp.NewServer(gridftp.Config{Clock: e.clk, Net: h, Host: host, Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := h.Listen(":2811")
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.clk.Go(func() { srv.Serve(l) })
+	}
+}
+
+func (e *repEnv) config() Config {
+	return Config{
+		Clock:       e.clk,
+		Net:         e.net.Host("desk"),
+		Catalog:     e.cat,
+		Parallelism: 2,
+		BufferBytes: 1 << 20,
+		MaxAttempts: 4,
+		Backoff:     time.Second,
+	}
+}
+
+func mirrorLoc() replica.Location {
+	return replica.Location{Host: "mirror", Protocol: "gsiftp", Port: 2811, Path: "/replica"}
+}
+
+func TestReplicateWholeCollection(t *testing.T) {
+	e := buildRepEnv(t, 1)
+	e.clk.Run(func() {
+		e.serve(t)
+		rep, err := Replicate(e.config(), "pcm", mirrorLoc(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Copied) != 3 || len(rep.Failed) != 0 {
+			t.Fatalf("report = %+v", rep)
+		}
+		if rep.Bytes != 3*64*mb {
+			t.Fatalf("bytes = %d", rep.Bytes)
+		}
+		for _, f := range e.files {
+			if !e.dstStore.Has(f) {
+				t.Errorf("mirror missing %s", f)
+			}
+		}
+		// The catalog now resolves the mirror as a replica.
+		locs, err := e.cat.LocationsFor("pcm", "pcm.tas.1998-02.nc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts := map[string]bool{}
+		for _, l := range locs {
+			hosts[l.Host] = true
+		}
+		if !hosts["mirror"] || !hosts["source"] {
+			t.Fatalf("locations = %v", locs)
+		}
+		// Payload moved source->mirror directly, not through the desk.
+		if via := e.net.TotalBytesBetween("source", "desk"); via > float64(mb) {
+			t.Fatalf("%.0f payload bytes flowed through the mediator", via)
+		}
+		if direct := e.net.TotalBytesBetween("source", "mirror"); direct < float64(3*64*mb) {
+			t.Fatalf("only %.0f bytes moved directly", direct)
+		}
+	})
+}
+
+func TestReplicateSubsetThenRest(t *testing.T) {
+	e := buildRepEnv(t, 2)
+	e.clk.Run(func() {
+		e.serve(t)
+		// First run copies one file; the catalog records a partial location.
+		rep, err := Replicate(e.config(), "pcm", mirrorLoc(), e.files[:1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Copied) != 1 {
+			t.Fatalf("copied = %v", rep.Copied)
+		}
+		locs, _ := e.cat.Locations("pcm")
+		var mirrorFiles int
+		for _, l := range locs {
+			if l.Host == "mirror" {
+				mirrorFiles = len(l.Files)
+			}
+		}
+		if mirrorFiles != 1 {
+			t.Fatalf("partial location has %d files", mirrorFiles)
+		}
+		// Second run completes the copy and skips what is present.
+		rep, err = Replicate(e.config(), "pcm", mirrorLoc(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Skipped) != 1 || len(rep.Copied) != 2 {
+			t.Fatalf("second run: %+v", rep)
+		}
+	})
+}
+
+func TestReplicateSurvivesSourceOutage(t *testing.T) {
+	e := buildRepEnv(t, 3)
+	// Second source replica at another site so retries have somewhere to go.
+	e.clk.Run(func() {
+		h := e.net.AddHost("backup", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+		e.net.AddLink("backup", "wan", simnet.LinkConfig{CapacityBps: 155e6, Delay: 12 * time.Millisecond})
+		store := gridftp.NewVirtualStore()
+		for _, f := range e.files {
+			store.Put(f, 64*mb)
+		}
+		if err := e.cat.AddLocation("pcm", replica.Location{
+			Host: "backup", Protocol: "gsiftp", Port: 2811, Path: "/d", Files: e.files,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		srv, _ := gridftp.NewServer(gridftp.Config{Clock: e.clk, Net: h, Host: "backup", Store: store})
+		l, _ := h.Listen(":2811")
+		e.clk.Go(func() { srv.Serve(l) })
+		e.serve(t)
+
+		// Kill the primary source mid-run; replication must fail over to
+		// the backup replica and finish.
+		link := e.net.LinkBetween("source", "wan")
+		e.clk.AfterFunc(2*time.Second, func() { link.SetUp(false, true) })
+		rep, err := Replicate(e.config(), "pcm", mirrorLoc(), nil)
+		if err != nil {
+			t.Fatalf("err = %v (report %+v)", err, rep)
+		}
+		if len(rep.Copied) != 3 {
+			t.Fatalf("copied = %v", rep.Copied)
+		}
+		for _, f := range e.files {
+			if !e.dstStore.Has(f) {
+				t.Errorf("mirror missing %s", f)
+			}
+		}
+	})
+}
+
+func TestReplicateErrors(t *testing.T) {
+	e := buildRepEnv(t, 4)
+	e.clk.Run(func() {
+		e.serve(t)
+		if _, err := Replicate(e.config(), "pcm", mirrorLoc(), []string{}); err == nil {
+			t.Fatal("empty file list accepted")
+		}
+		if _, err := Replicate(e.config(), "no-such-collection", mirrorLoc(), nil); err == nil {
+			t.Fatal("unknown collection accepted")
+		}
+		rep, err := Replicate(e.config(), "pcm", mirrorLoc(), []string{"ghost.nc"})
+		if err == nil {
+			t.Fatal("unknown file accepted")
+		}
+		if !strings.Contains(rep.Failed["ghost.nc"], "replica") {
+			t.Fatalf("failure reason = %q", rep.Failed["ghost.nc"])
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package rm
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"esgrid/internal/esgrpc"
+	"esgrid/internal/gsi"
+)
+
+// RenderMonitor draws the request's state as the text analog of the
+// paper's Figure 4 transfer-monitoring tool: a progress bar per file (top
+// pane), the chosen replica locations (middle pane), and the running
+// message log (bottom pane).
+func RenderMonitor(r *Request, width int) string {
+	if width < 40 {
+		width = 40
+	}
+	barW := width - 34
+	var b strings.Builder
+	statuses := r.Status()
+	var total, got int64
+	fmt.Fprintf(&b, "Request %d (%s) — collection %q\n", r.ID, r.User, r.Collection)
+	b.WriteString(strings.Repeat("=", width) + "\n")
+	for _, st := range statuses {
+		frac := 0.0
+		if st.Size > 0 {
+			frac = float64(st.Received) / float64(st.Size)
+		}
+		fill := int(frac * float64(barW))
+		if fill > barW {
+			fill = barW
+		}
+		fmt.Fprintf(&b, "%-24.24s [%s%s] %5.1f%%\n",
+			st.Name, strings.Repeat("#", fill), strings.Repeat(".", barW-fill), frac*100)
+		total += st.Size
+		got += st.Received
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, "TOTAL: %.1f of %.1f MB (%.1f%%)\n",
+			float64(got)/1e6, float64(total)/1e6, 100*float64(got)/float64(total))
+	}
+	b.WriteString(strings.Repeat("-", width) + "\n")
+	b.WriteString("replica selections:\n")
+	for _, st := range statuses {
+		if st.Replica != "" {
+			fmt.Fprintf(&b, "  %-24.24s <- %s  (%s, attempt %d, %.1f Mb/s)\n",
+				st.Name, st.Replica, st.State, st.Attempts, st.RateBps/1e6)
+		}
+	}
+	b.WriteString(strings.Repeat("-", width) + "\n")
+	msgs := r.Messages()
+	const tail = 8
+	if len(msgs) > tail {
+		msgs = msgs[len(msgs)-tail:]
+	}
+	for _, msg := range msgs {
+		fmt.Fprintf(&b, "%s\n", msg)
+	}
+	return b.String()
+}
+
+// --- RPC facade: the CORBA interface CDAT calls (§4) ---
+
+// SubmitArgs is the rm.submit payload.
+type SubmitArgs struct {
+	User       string        `json:"user"`
+	Collection string        `json:"collection"`
+	Files      []FileRequest `json:"files"`
+}
+
+// SubmitReply carries the request id.
+type SubmitReply struct {
+	ID int `json:"id"`
+}
+
+// StatusArgs selects a request.
+type StatusArgs struct {
+	ID int `json:"id"`
+}
+
+// StatusReply is the monitor snapshot.
+type StatusReply struct {
+	Files    []FileStatus `json:"files"`
+	Messages []string     `json:"messages"`
+	Done     bool         `json:"done"`
+}
+
+// RegisterRPC exposes the manager on an esgrpc server under "rm.*".
+func (m *Manager) RegisterRPC(srv *esgrpc.Server) {
+	srv.Handle("rm.submit", func(peer *gsi.Peer, params json.RawMessage) (any, error) {
+		var args SubmitArgs
+		if err := json.Unmarshal(params, &args); err != nil {
+			return nil, err
+		}
+		user := args.User
+		if peer != nil {
+			user = peer.Subject
+		}
+		req, err := m.Submit(user, args.Collection, args.Files)
+		if err != nil {
+			return nil, err
+		}
+		return SubmitReply{ID: req.ID}, nil
+	})
+	srv.Handle("rm.status", func(_ *gsi.Peer, params json.RawMessage) (any, error) {
+		var args StatusArgs
+		if err := json.Unmarshal(params, &args); err != nil {
+			return nil, err
+		}
+		req := m.Request(args.ID)
+		if req == nil {
+			return nil, fmt.Errorf("rm: unknown request %d", args.ID)
+		}
+		files := req.Status()
+		done := true
+		for _, f := range files {
+			if f.State != StateDone && f.State != StateFailed {
+				done = false
+			}
+		}
+		return StatusReply{Files: files, Messages: req.Messages(), Done: done}, nil
+	})
+}

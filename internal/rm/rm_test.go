@@ -1,0 +1,467 @@
+package rm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esgrid/internal/esgrpc"
+	"esgrid/internal/gridftp"
+	"esgrid/internal/hrm"
+	"esgrid/internal/ldapd"
+	"esgrid/internal/mds"
+	"esgrid/internal/netlogger"
+	"esgrid/internal/nws"
+	"esgrid/internal/replica"
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+const (
+	mbps = 1e6
+	mb   = int64(1) << 20
+)
+
+// grid is a miniature ESG testbed: a client site and two replica sites
+// with different connectivity, plus catalogs and NWS.
+type grid struct {
+	clk    *vtime.Sim
+	net    *simnet.Net
+	client *simnet.Host
+	cat    *replica.Catalog
+	info   *mds.Service
+	sensor *nws.Sensor
+	stores map[string]*gridftp.VirtualStore
+}
+
+// buildGrid creates sites "fast" (622 Mb/s) and "slow" (45 Mb/s) serving
+// the same collection to client site "desk".
+func buildGrid(t *testing.T, seed int64) *grid {
+	t.Helper()
+	clk := vtime.NewSim(seed)
+	n := simnet.New(clk)
+	g := &grid{clk: clk, net: n, stores: map[string]*gridftp.VirtualStore{}}
+	g.client = n.AddHost("desk", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddNode("wan")
+	n.AddLink("desk", "wan", simnet.LinkConfig{CapacityBps: 1e9, Delay: 2 * time.Millisecond})
+	n.AddHost("fast", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddLink("fast", "wan", simnet.LinkConfig{CapacityBps: 622 * mbps, Delay: 10 * time.Millisecond})
+	n.AddHost("slow", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddLink("slow", "wan", simnet.LinkConfig{CapacityBps: 45 * mbps, Delay: 30 * time.Millisecond})
+
+	dir := ldapd.NewDir()
+	cat, err := replica.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.cat = cat
+	info, err := mds.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.info = info
+
+	files := []string{"pcm.tas.1998-01.nc", "pcm.tas.1998-02.nc", "pcm.tas.1998-03.nc"}
+	if err := cat.CreateCollection("pcm-monthly", files); err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []string{"fast", "slow"} {
+		store := gridftp.NewVirtualStore()
+		for _, f := range files {
+			store.Put(f, 64*mb)
+		}
+		g.stores[site] = store
+		if err := cat.AddLocation("pcm-monthly", replica.Location{
+			Host: site, Protocol: "gsiftp", Port: 2811, Path: "/data", Files: files,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range files {
+		cat.RegisterLogicalFile("pcm-monthly", f, 64*mb)
+	}
+	return g
+}
+
+// startServers launches GridFTP servers at both sites; must run inside
+// clk.Run.
+func (g *grid) startServers(t *testing.T) {
+	t.Helper()
+	for _, site := range []string{"fast", "slow"} {
+		host := g.net.Host(site)
+		srv, err := gridftp.NewServer(gridftp.Config{
+			Clock: g.clk, Net: host, Host: site, Store: g.stores[site],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := host.Listen(":2811")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.clk.Go(func() { srv.Serve(l) })
+	}
+}
+
+// startNWS measures both sites and publishes forecasts; must run inside
+// clk.Run.
+func (g *grid) startNWS() {
+	prober := nws.ProbeFunc(func(from, to string) (float64, time.Duration, error) {
+		bw, err := g.net.EstimateBandwidth(from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		rtt, err := g.net.PathRTT(from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		return bw, rtt, nil
+	})
+	g.sensor = nws.NewSensor(g.clk, prober, g.info, 10*time.Second)
+	g.sensor.Watch("fast", "desk")
+	g.sensor.Watch("slow", "desk")
+	g.sensor.MeasureNow()
+}
+
+func (g *grid) manager(t *testing.T, mut func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{
+		Clock:           g.clk,
+		Net:             g.client,
+		LocalHost:       "desk",
+		Replica:         g.cat,
+		Info:            g.info,
+		DestStore:       gridftp.NewVirtualStore(),
+		Policy:          PolicyNWS,
+		Parallelism:     2,
+		BufferBytes:     1 << 20,
+		MonitorInterval: time.Second,
+		MaxAttempts:     5,
+		RetryBackoff:    500 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRequestCompletesAllFiles(t *testing.T) {
+	g := buildGrid(t, 1)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		req, err := m.Submit("/CN=drach", "pcm-monthly", []FileRequest{
+			{Name: "pcm.tas.1998-01.nc"}, {Name: "pcm.tas.1998-02.nc"}, {Name: "pcm.tas.1998-03.nc"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range req.Status() {
+			if st.State != StateDone {
+				t.Errorf("%s state = %s", st.Name, st.State)
+			}
+			if st.Received != 64*mb {
+				t.Errorf("%s received = %d", st.Name, st.Received)
+			}
+		}
+		if req.TotalReceived() != 3*64*mb {
+			t.Fatalf("total = %d", req.TotalReceived())
+		}
+	})
+}
+
+func TestNWSPolicyPicksFastReplica(t *testing.T) {
+	g := buildGrid(t, 2)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-01.nc"}})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if st := req.Status()[0]; st.Replica != "fast" {
+			t.Fatalf("NWS policy chose %q, want fast", st.Replica)
+		}
+	})
+}
+
+func TestStaticPolicyIgnoresForecasts(t *testing.T) {
+	g := buildGrid(t, 3)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, func(c *Config) { c.Policy = PolicyFirst })
+		req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-01.nc"}})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		// Catalog order: "fast" was added first, so static picks fast
+		// here; the point is it did not consult forecasts at all. Verify
+		// by removing forecasts and ensuring it still works.
+		m2 := g.manager(t, func(c *Config) { c.Policy = PolicyFirst; c.Info = nil })
+		req2, _ := m2.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-02.nc"}})
+		if err := req2.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFailoverToAlternateReplica(t *testing.T) {
+	g := buildGrid(t, 4)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		// Kill the fast site's link shortly after the transfer starts; the
+		// RM must fail over to "slow" and finish with a restart.
+		link := g.net.LinkBetween("fast", "wan")
+		g.clk.AfterFunc(400*time.Millisecond, func() { link.SetUp(false, true) })
+		req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-01.nc"}})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		st := req.Status()[0]
+		if st.Replica != "slow" {
+			t.Fatalf("final replica = %q, want slow", st.Replica)
+		}
+		if st.Attempts < 2 {
+			t.Fatalf("attempts = %d, want >= 2", st.Attempts)
+		}
+		joined := strings.Join(req.Messages(), "\n")
+		if !strings.Contains(joined, "trying alternate") {
+			t.Fatalf("messages missing failover note:\n%s", joined)
+		}
+	})
+}
+
+func TestReliabilityPluginAbortsSlowTransfer(t *testing.T) {
+	g := buildGrid(t, 5)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		// Degrade the fast site AFTER forecasts were taken, so NWS still
+		// sends the RM there; the reliability plug-in must bail out.
+		g.net.LinkBetween("fast", "wan").SetCapacityFactor(0.005) // ~3 Mb/s
+		m := g.manager(t, func(c *Config) { c.MinRateBps = 10 * mbps })
+		req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-01.nc"}})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		st := req.Status()[0]
+		if st.Replica != "slow" {
+			t.Fatalf("final replica = %q, want slow after low-rate abort", st.Replica)
+		}
+		joined := strings.Join(req.Messages(), "\n")
+		if !strings.Contains(joined, "below threshold") {
+			t.Fatalf("messages missing abort note:\n%s", joined)
+		}
+	})
+}
+
+func TestStagedReplicaTriggersHRM(t *testing.T) {
+	clk := vtime.NewSim(6)
+	n := simnet.New(clk)
+	desk := n.AddHost("desk", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddHost("lbnl", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddLink("desk", "lbnl", simnet.LinkConfig{CapacityBps: 622 * mbps, Delay: 10 * time.Millisecond})
+	dir := ldapd.NewDir()
+	cat, _ := replica.New(dir)
+	cat.CreateCollection("pcm", []string{"deep.nc"})
+	cat.AddLocation("pcm", replica.Location{
+		Host: "lbnl", Protocol: "gsiftp", Port: 2811, Path: "/hpss", Files: []string{"deep.nc"}, Staged: true,
+	})
+	cat.RegisterLogicalFile("pcm", "deep.nc", 256*mb)
+	clk.Run(func() {
+		lbnl := n.Host("lbnl")
+		// HRM with the file on tape.
+		h := hrm.New(clk, hrm.Config{Drives: 1, MountTime: 30 * time.Second, SeekTime: 10 * time.Second, ReadBps: 112e6, CacheBytes: 10 << 30})
+		h.AddTapeFile(hrm.TapeFile{Name: "deep.nc", Size: 256 * mb, Tape: "T9"})
+		rpcSrv := esgrpc.NewServer(clk, nil)
+		h.RegisterRPC(rpcSrv)
+		rl, _ := lbnl.Listen(":4811")
+		clk.Go(func() { rpcSrv.Serve(rl) })
+		// GridFTP serving the HRM cache.
+		gsrv, _ := gridftp.NewServer(gridftp.Config{Clock: clk, Net: lbnl, Host: "lbnl", Store: h.Store()})
+		gl, _ := lbnl.Listen(":2811")
+		clk.Go(func() { gsrv.Serve(gl) })
+
+		m, err := New(Config{
+			Clock: clk, Net: desk, LocalHost: "desk", Replica: cat,
+			DestStore: gridftp.NewVirtualStore(), HRMPort: 4811,
+			Parallelism: 2, BufferBytes: 1 << 20, MonitorInterval: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := clk.Now()
+		req, _ := m.Submit("u", "pcm", []FileRequest{{Name: "deep.nc"}})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		// Staging (mount+seek+read 256MB at 14MB/s ~ 58s) must dominate.
+		if elapsed := clk.Now().Sub(t0); elapsed < 50*time.Second {
+			t.Fatalf("completed in %v; staging latency missing", elapsed)
+		}
+		if h.Stats().Misses != 1 {
+			t.Fatalf("hrm stats = %+v", h.Stats())
+		}
+		joined := strings.Join(req.Messages(), "\n")
+		if !strings.Contains(joined, "staged from mass storage") {
+			t.Fatalf("messages missing staging note:\n%s", joined)
+		}
+	})
+}
+
+func TestMonitorRendering(t *testing.T) {
+	g := buildGrid(t, 7)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		req, _ := m.Submit("/CN=williams", "pcm-monthly", []FileRequest{
+			{Name: "pcm.tas.1998-01.nc"}, {Name: "pcm.tas.1998-02.nc"},
+		})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		out := RenderMonitor(req, 80)
+		for _, want := range []string{
+			"Request 1 (/CN=williams)",
+			"pcm.tas.1998-01.nc",
+			"100.0%",
+			"replica selections:",
+			"transfer complete",
+			"TOTAL:",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("monitor output missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+func TestRPCFacade(t *testing.T) {
+	g := buildGrid(t, 8)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		srv := esgrpc.NewServer(g.clk, nil)
+		m.RegisterRPC(srv)
+		// Serve the RM RPC on a separate port of the client host (the RM
+		// runs at the user's site in the prototype).
+		l, _ := g.client.Listen(":4900")
+		g.clk.Go(func() { srv.Serve(l) })
+		cli, err := esgrpc.Dial(g.clk, g.client, "desk:4900", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		var rep SubmitReply
+		if err := cli.Call("rm.submit", SubmitArgs{
+			User: "cdat", Collection: "pcm-monthly",
+			Files: []FileRequest{{Name: "pcm.tas.1998-01.nc"}},
+		}, &rep); err != nil {
+			t.Fatal(err)
+		}
+		// Poll status until done, as VCDAT's monitor does.
+		deadline := g.clk.Now().Add(5 * time.Minute)
+		for {
+			var st StatusReply
+			if err := cli.Call("rm.status", StatusArgs{ID: rep.ID}, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Done {
+				if st.Files[0].State != StateDone {
+					t.Fatalf("file state = %v", st.Files[0].State)
+				}
+				break
+			}
+			if g.clk.Now().After(deadline) {
+				t.Fatal("request did not finish")
+			}
+			g.clk.Sleep(2 * time.Second)
+		}
+		var nlog *netlogger.Log // unused; silence import if refactored
+		_ = nlog
+	})
+}
+
+func TestSubmitValidation(t *testing.T) {
+	g := buildGrid(t, 9)
+	g.clk.Run(func() {
+		m := g.manager(t, nil)
+		if _, err := m.Submit("u", "pcm-monthly", nil); err == nil {
+			t.Fatal("empty request accepted")
+		}
+		req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "no-such.nc"}})
+		if err := req.Wait(); err == nil {
+			t.Fatal("unknown file request succeeded")
+		}
+		if st := req.Status()[0]; st.State != StateFailed {
+			t.Fatalf("state = %v", st.State)
+		}
+	})
+}
+
+func TestConcurrencyCap(t *testing.T) {
+	g := buildGrid(t, 10)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, func(c *Config) { c.MaxConcurrent = 1 })
+		req, _ := m.Submit("u", "pcm-monthly", []FileRequest{
+			{Name: "pcm.tas.1998-01.nc"}, {Name: "pcm.tas.1998-02.nc"}, {Name: "pcm.tas.1998-03.nc"},
+		})
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMultipleUsersConcurrently exercises §4's claim that the RM serves
+// "multiple file transfers on behalf of multiple users concurrently":
+// three users' requests interleave and all complete.
+func TestMultipleUsersConcurrently(t *testing.T) {
+	g := buildGrid(t, 11)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		users := []string{"/CN=drach", "/CN=williams", "/CN=nefedova"}
+		reqs := make([]*Request, len(users))
+		for i, u := range users {
+			r, err := m.Submit(u, "pcm-monthly", []FileRequest{
+				{Name: "pcm.tas.1998-01.nc"}, {Name: "pcm.tas.1998-02.nc"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs[i] = r
+		}
+		for i, r := range reqs {
+			if err := r.Wait(); err != nil {
+				t.Fatalf("user %s: %v", users[i], err)
+			}
+			if r.TotalReceived() != 2*64*mb {
+				t.Fatalf("user %s received %d", users[i], r.TotalReceived())
+			}
+		}
+		// Distinct request ids, correct attribution.
+		if reqs[0].ID == reqs[1].ID || reqs[1].User != "/CN=williams" {
+			t.Fatal("request identity broken")
+		}
+		if m.Request(reqs[2].ID) != reqs[2] {
+			t.Fatal("lookup by id broken")
+		}
+	})
+}

@@ -1,0 +1,581 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// Host is a traffic-originating node. It implements transport.Network, so
+// protocol servers and clients bind to a Host exactly as they would to
+// the real TCP stack.
+type Host struct {
+	net  *Net
+	name string
+	node *node
+	cfg  HostConfig
+
+	cpu  *res
+	disk *res
+
+	conns          map[*Conn]bool
+	retiredBytesTo map[string]float64
+}
+
+// Name returns the host's node name.
+func (h *Host) Name() string { return h.name }
+
+func (h *Host) defaultBuffer() int {
+	if h.cfg.DefaultBufferBytes > 0 {
+		return h.cfg.DefaultBufferBytes
+	}
+	return DefaultBufferBytes
+}
+
+// CPUUtilization returns the fraction (0..1) of this host's CPU budget
+// currently consumed by network processing.
+func (h *Host) CPUUtilization() float64 {
+	if h.cpu == nil {
+		return 0
+	}
+	n := h.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var used float64
+	for f := range n.flows {
+		if !f.active {
+			continue
+		}
+		for _, hr := range f.hostResources() {
+			if hr.r == h.cpu {
+				used += f.rate * hr.w
+			}
+		}
+	}
+	return used
+}
+
+// Conn is a simulated connection between two endpoints.
+type Conn struct {
+	net       *Net
+	eps       [2]*Endpoint
+	flows     [2]*flow // flows[i] carries eps[i] -> eps[1-i]
+	writeCond [2]vtime.Cond
+	removed   bool
+}
+
+// Endpoint is one side of a Conn; it implements net.Conn plus the
+// simulator extensions (virtual payloads, buffer tuning, disk binding).
+type Endpoint struct {
+	conn *Conn
+	idx  int
+	host *Host
+	addr transport.Addr
+	peer transport.Addr
+
+	buf      int
+	rx       []*segment
+	rxOff    int // bytes consumed from rx[0].data
+	rxCond   vtime.Cond
+	closed   bool
+	resetErr error
+
+	readDeadline  time.Time
+	writeDeadline time.Time
+}
+
+var (
+	// ErrVirtualPending is returned by Read when the next queued payload
+	// was sent via the virtual fast path and must be consumed with
+	// ReadVirtual (and vice versa). It indicates a protocol-framing bug.
+	ErrVirtualPending = errors.New("simnet: next payload is virtual; use ReadVirtual")
+	errRealPending    = errors.New("simnet: next payload is real data; use Read")
+)
+
+// timeoutError satisfies net.Error with Timeout() == true.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "simnet: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+func (n *Net) nowOff() time.Duration { return n.clk.Now().Sub(vtime.Epoch) }
+
+// Listen implements transport.Network.
+func (h *Host) Listen(addr string) (transport.Listener, error) {
+	_, port := transport.SplitHostPort(addr)
+	n := h.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if port == 0 {
+		port = n.nextPort
+		n.nextPort++
+	}
+	key := fmt.Sprintf("%s:%d", h.name, port)
+	if _, dup := n.listeners[key]; dup {
+		return nil, fmt.Errorf("simnet: address %s already in use", key)
+	}
+	l := &Listener{
+		net: n, host: h,
+		addr: transport.Addr{Net: "sim", Text: key},
+	}
+	l.cond = n.clk.NewCond(&n.mu)
+	n.listeners[key] = l
+	return l, nil
+}
+
+// Listener is a simulated listening socket.
+type Listener struct {
+	net     *Net
+	host    *Host
+	addr    transport.Addr
+	backlog []*Endpoint
+	cond    vtime.Cond
+	closed  bool
+}
+
+// Accept waits for and returns the next inbound connection.
+func (l *Listener) Accept() (transport.Conn, error) {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil, net.ErrClosed
+	}
+	ep := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return ep, nil
+}
+
+// Close stops the listener; blocked Accepts return net.ErrClosed.
+func (l *Listener) Close() error {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	delete(n.listeners, l.addr.Text)
+	l.cond.Broadcast()
+	return nil
+}
+
+// Addr returns the listening address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Dial implements transport.Dialer: it resolves addr, performs a
+// one-RTT handshake in virtual time, and returns the client endpoint.
+func (h *Host) Dial(addr string) (transport.Conn, error) {
+	host, port := transport.SplitHostPort(addr)
+	n := h.net
+
+	n.mu.Lock()
+	if !n.dnsUp {
+		n.mu.Unlock()
+		return nil, &DNSError{Name: host}
+	}
+	key := fmt.Sprintf("%s:%d", host, port)
+	l, ok := n.listeners[key]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("simnet: connection refused: %s", key)
+	}
+	fwd, err := n.routeLocked(h.name, host)
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	rev, err := n.routeLocked(host, h.name)
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	peerHost := l.host
+	cliPort := n.nextPort
+	n.nextPort++
+
+	c := &Conn{net: n}
+	cli := &Endpoint{
+		conn: c, idx: 0, host: h,
+		addr: transport.Addr{Net: "sim", Text: fmt.Sprintf("%s:%d", h.name, cliPort)},
+		peer: transport.Addr{Net: "sim", Text: key},
+		buf:  h.defaultBuffer(),
+	}
+	srv := &Endpoint{
+		conn: c, idx: 1, host: peerHost,
+		addr: transport.Addr{Net: "sim", Text: key},
+		peer: cli.addr,
+		buf:  peerHost.defaultBuffer(),
+	}
+	cli.rxCond = n.clk.NewCond(&n.mu)
+	srv.rxCond = n.clk.NewCond(&n.mu)
+	c.eps = [2]*Endpoint{cli, srv}
+	c.writeCond = [2]vtime.Cond{n.clk.NewCond(&n.mu), n.clk.NewCond(&n.mu)}
+	mss := h.mss()
+	c.flows[0] = newFlow(n, c, 0, h, peerHost, fwd, min(cli.buf, srv.buf), mss)
+	c.flows[1] = newFlow(n, c, 1, peerHost, h, rev, min(cli.buf, srv.buf), peerHost.mss())
+	c.flows[0].rtt = c.flows[0].owd + c.flows[1].owd
+	c.flows[1].rtt = c.flows[0].rtt
+	c.flows[0].updateWindowCap()
+	c.flows[1].updateWindowCap()
+	n.flows[c.flows[0]] = struct{}{}
+	n.flows[c.flows[1]] = struct{}{}
+	if h.conns == nil {
+		h.conns = map[*Conn]bool{}
+	}
+	h.conns[c] = true
+	if peerHost.conns == nil {
+		peerHost.conns = map[*Conn]bool{}
+	}
+	peerHost.conns[c] = true
+	rtt := c.flows[0].rtt
+	n.mu.Unlock()
+
+	// TCP three-way handshake: the connection is usable one RTT after SYN.
+	n.clk.Sleep(rtt)
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cli.resetErr != nil {
+		return nil, cli.resetErr
+	}
+	if l.closed {
+		c.removeLocked()
+		return nil, fmt.Errorf("simnet: connection refused: %s", key)
+	}
+	l.backlog = append(l.backlog, srv)
+	l.cond.Signal()
+	return cli, nil
+}
+
+func (h *Host) mss() int {
+	if h.cfg.MSS > 0 {
+		return h.cfg.MSS
+	}
+	return DefaultMSS
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (c *Conn) crossesLink(l *Link) bool {
+	return c.flows[0].crosses(l) || c.flows[1].crosses(l)
+}
+
+// removeLocked retires both flows and forgets the conn. Caller holds mu.
+func (c *Conn) removeLocked() {
+	if c.removed {
+		return
+	}
+	c.removed = true
+	now := c.net.nowOff()
+	c.flows[0].remove(now)
+	c.flows[1].remove(now)
+	delete(c.eps[0].host.conns, c)
+	delete(c.eps[1].host.conns, c)
+}
+
+// reset kills the connection abruptly: all pending and future operations
+// on both endpoints fail with err.
+func (c *Conn) reset(err error) {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ep := range c.eps {
+		if ep.resetErr == nil {
+			ep.resetErr = err
+		}
+		ep.rxCond.Broadcast()
+	}
+	c.writeCond[0].Broadcast()
+	c.writeCond[1].Broadcast()
+	c.removeLocked()
+	n.recomputeLocked()
+}
+
+// --- Endpoint: net.Conn implementation ---
+
+// Write sends real bytes (protocol headers, control messages).
+func (ep *Endpoint) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	if err := ep.send(&segment{data: data, n: int64(len(p))}); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteVirtual implements transport.VirtualWriter.
+func (ep *Endpoint) WriteVirtual(n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	return ep.send(&segment{n: n})
+}
+
+func (ep *Endpoint) send(seg *segment) error {
+	c := ep.conn
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep.resetErr != nil {
+		return ep.resetErr
+	}
+	if ep.closed {
+		return net.ErrClosed
+	}
+	f := c.flows[ep.idx]
+	if f.removed {
+		return net.ErrClosed
+	}
+	if f.enqueue(n.nowOff(), seg) {
+		n.recomputeLocked()
+	}
+	// Block until the segment has been transmitted.
+	for {
+		if ep.resetErr != nil {
+			return ep.resetErr
+		}
+		if f.removed {
+			return net.ErrClosed
+		}
+		if f.transmittedAt(n.nowOff()) >= seg.end-1e-6 {
+			return nil
+		}
+		if !ep.writeDeadline.IsZero() {
+			remain := ep.writeDeadline.Sub(n.clk.Now())
+			if remain <= 0 {
+				return timeoutError{}
+			}
+			if !c.writeCond[ep.idx].WaitTimeout(remain) {
+				return timeoutError{}
+			}
+		} else {
+			c.writeCond[ep.idx].Wait()
+		}
+	}
+}
+
+// deliver appends an arrived segment to the receive queue (invoked by the
+// sender's flow one propagation delay after transmit completes).
+func (ep *Endpoint) deliver(seg *segment) {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep.closed || ep.resetErr != nil {
+		return
+	}
+	ep.rx = append(ep.rx, seg)
+	ep.rxCond.Broadcast()
+}
+
+// Read receives real bytes.
+func (ep *Endpoint) Read(p []byte) (int, error) {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if ep.resetErr != nil {
+			return 0, ep.resetErr
+		}
+		if ep.closed {
+			return 0, net.ErrClosed
+		}
+		if len(ep.rx) > 0 {
+			head := ep.rx[0]
+			if head.fin {
+				return 0, io.EOF
+			}
+			if head.data == nil {
+				return 0, ErrVirtualPending
+			}
+			m := copy(p, head.data[ep.rxOff:])
+			ep.rxOff += m
+			if ep.rxOff >= len(head.data) {
+				ep.rx = ep.rx[1:]
+				ep.rxOff = 0
+			}
+			return m, nil
+		}
+		if err := ep.waitReadable(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// ReadVirtual implements transport.VirtualReader.
+func (ep *Endpoint) ReadVirtual(max int64) (int64, error) {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if ep.resetErr != nil {
+			return 0, ep.resetErr
+		}
+		if ep.closed {
+			return 0, net.ErrClosed
+		}
+		if len(ep.rx) > 0 {
+			head := ep.rx[0]
+			if head.fin {
+				return 0, io.EOF
+			}
+			if head.data != nil {
+				return 0, errRealPending
+			}
+			got := head.n
+			if got > max {
+				got = max
+				head.n -= max
+			} else {
+				ep.rx = ep.rx[1:]
+			}
+			return got, nil
+		}
+		if err := ep.waitReadable(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// waitReadable blocks (honouring the read deadline) until rx changes.
+// Caller holds Net.mu via the cond's locker.
+func (ep *Endpoint) waitReadable() error {
+	n := ep.conn.net
+	if !ep.readDeadline.IsZero() {
+		remain := ep.readDeadline.Sub(n.clk.Now())
+		if remain <= 0 {
+			return timeoutError{}
+		}
+		if !ep.rxCond.WaitTimeout(remain) {
+			return timeoutError{}
+		}
+		return nil
+	}
+	ep.rxCond.Wait()
+	return nil
+}
+
+// Close shuts the connection down from this side: local operations fail
+// with net.ErrClosed; the peer drains pending data then reads EOF.
+func (ep *Endpoint) Close() error {
+	c := ep.conn
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep.closed {
+		return nil
+	}
+	ep.closed = true
+	ep.rxCond.Broadcast()
+	c.writeCond[ep.idx].Broadcast()
+	f := c.flows[ep.idx]
+	if !f.removed {
+		if f.enqueue(n.nowOff(), &segment{fin: true}) {
+			n.recomputeLocked()
+		}
+	}
+	if c.eps[0].closed && c.eps[1].closed {
+		c.removeLocked()
+		n.recomputeLocked()
+	}
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (ep *Endpoint) LocalAddr() net.Addr { return ep.addr }
+
+// RemoteAddr implements net.Conn.
+func (ep *Endpoint) RemoteAddr() net.Addr { return ep.peer }
+
+// SetDeadline implements net.Conn.
+func (ep *Endpoint) SetDeadline(t time.Time) error {
+	ep.SetReadDeadline(t)
+	return ep.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (ep *Endpoint) SetReadDeadline(t time.Time) error {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep.readDeadline = t
+	ep.rxCond.Broadcast() // re-evaluate waits against the new deadline
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (ep *Endpoint) SetWriteDeadline(t time.Time) error {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep.writeDeadline = t
+	ep.conn.writeCond[ep.idx].Broadcast()
+	return nil
+}
+
+// SetBuffer tunes this endpoint's socket buffer (bytes); the effective
+// window of each direction is the minimum of the two endpoints' buffers,
+// exactly the bandwidth×delay tuning of §7.
+func (ep *Endpoint) SetBuffer(bytes int) {
+	c := ep.conn
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep.buf = bytes
+	for i, f := range c.flows {
+		eff := float64(min(c.eps[0].buf, c.eps[1].buf))
+		_ = i
+		f.maxWindow = eff
+		if f.window > eff {
+			f.window = eff
+		}
+		f.updateWindowCap()
+		f.scheduleGrowth()
+	}
+	n.recomputeLocked()
+}
+
+// SetDiskBound marks this connection's payload as staged through this
+// endpoint's host disk, so the host's DiskBps cap applies (Figure 8).
+func (ep *Endpoint) SetDiskBound(bound bool) {
+	c := ep.conn
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, f := range c.flows {
+		f.diskBound = bound
+		f.invalidateRefs()
+	}
+	n.recomputeLocked()
+}
+
+// BytesWritten returns cumulative payload bytes transmitted from this
+// endpoint (continuous in virtual time).
+func (ep *Endpoint) BytesWritten() float64 {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return ep.conn.flows[ep.idx].transmittedAt(n.nowOff())
+}
+
+// RTT returns the connection's round-trip propagation delay.
+func (ep *Endpoint) RTT() time.Duration {
+	return ep.conn.flows[ep.idx].rtt
+}

@@ -1,0 +1,406 @@
+package simnet
+
+import (
+	"math"
+	"time"
+
+	"esgrid/internal/vtime"
+)
+
+// flow is one direction of a connection's traffic: a fluid-model TCP
+// stream with AIMD window dynamics. All fields are guarded by Net.mu.
+type flow struct {
+	net  *Net
+	conn *Conn
+	dir  int // index of the sending endpoint
+	src  *Host
+	dst  *Host
+	path []*simplex
+	owd  time.Duration // one-way propagation delay along path
+	rtt  time.Duration // round-trip (both directions' paths)
+
+	mss       int
+	diskBound bool
+
+	// Congestion window state (bytes). windowCap caches the rate bound
+	// window*8/rtt in bits/s (Inf for zero-RTT loopback or probes).
+	window    float64
+	ssthresh  float64
+	maxWindow float64
+	windowCap float64
+	growing   bool
+	growTimer vtime.Timer
+	lossTimer vtime.Timer
+	lossRate  float64 // flow rate when the loss timer was sampled
+
+	// Transmission state. transmitted is the cumulative payload bytes
+	// fully accounted as of virtual instant lastT; between events the
+	// true value is transmitted + rate/8*(t-lastT), clamped to queuedEnd.
+	active      bool
+	lingering   bool
+	rate        float64 // bits/s
+	lastT       time.Duration
+	transmitted float64
+	queuedEnd   float64
+	segs        []*segment
+	doneTimer   vtime.Timer
+	lingerTimer vtime.Timer
+	removed     bool
+
+	resRefs []hostRes // cached resource membership (see refs)
+}
+
+// segment is a unit of enqueued payload: real bytes, virtual length, or a
+// FIN marker. end is the cumulative flow offset at which it completes.
+type segment struct {
+	end  float64
+	data []byte // real payload (nil for virtual / fin)
+	n    int64  // payload length in bytes
+	fin  bool
+}
+
+type hostRes struct {
+	r *res
+	w float64 // resource units consumed per bit/s of flow rate
+}
+
+// refs returns the flow's full resource membership (links + host
+// budgets), cached; invalidated when disk binding changes.
+func (f *flow) refs() []hostRes {
+	if f.resRefs == nil {
+		refs := make([]hostRes, 0, len(f.path)+4)
+		for _, sx := range f.path {
+			refs = append(refs, hostRes{&sx.res, 1})
+		}
+		refs = append(refs, f.hostResources()...)
+		f.resRefs = refs
+	}
+	return f.resRefs
+}
+
+// invalidateRefs drops the cached resource list (e.g. on SetDiskBound).
+func (f *flow) invalidateRefs() { f.resRefs = nil }
+
+func newFlow(n *Net, c *Conn, dir int, src, dst *Host, path []*simplex, buffer int, mss int) *flow {
+	f := &flow{
+		net: n, conn: c, dir: dir, src: src, dst: dst, path: path, mss: mss,
+	}
+	for _, s := range path {
+		f.owd += s.delay
+	}
+	f.rtt = 2 * f.owd // symmetric routes; refined by the conn if needed
+	f.maxWindow = float64(buffer)
+	f.window = float64(initialWindowMSS * mss)
+	if f.window > f.maxWindow {
+		f.window = f.maxWindow
+	}
+	// Slow-start threshold starts unbounded, as in real TCP: the first
+	// loss sets it. The window is still capped by maxWindow (the socket
+	// buffer), so buffer tuning remains the binding limit.
+	f.ssthresh = math.Inf(1)
+	f.updateWindowCap()
+	return f
+}
+
+func (f *flow) updateWindowCap() {
+	if f.rtt <= 0 {
+		f.windowCap = math.Inf(1)
+		return
+	}
+	f.windowCap = f.window * 8 / f.rtt.Seconds()
+}
+
+// hostResources lists the per-host budgets this flow consumes.
+func (f *flow) hostResources() []hostRes {
+	var out []hostRes
+	if f.src != nil && f.src.cpu != nil {
+		out = append(out, hostRes{f.src.cpu, f.src.cfg.CPU.weight(f.mss)})
+	}
+	if f.dst != nil && f.dst.cpu != nil && f.dst != f.src {
+		out = append(out, hostRes{f.dst.cpu, f.dst.cfg.CPU.weight(f.mss)})
+	}
+	if f.diskBound {
+		if f.src != nil && f.src.disk != nil {
+			out = append(out, hostRes{f.src.disk, 1})
+		}
+		if f.dst != nil && f.dst.disk != nil && f.dst != f.src {
+			out = append(out, hostRes{f.dst.disk, 1})
+		}
+	}
+	return out
+}
+
+func (f *flow) crosses(l *Link) bool {
+	for _, s := range f.path {
+		if s.link == l {
+			return true
+		}
+	}
+	return false
+}
+
+// fold accounts transmission progress up to virtual instant now.
+func (f *flow) fold(now time.Duration) {
+	if now <= f.lastT {
+		return
+	}
+	if f.active && f.rate > 0 {
+		f.transmitted += f.rate / 8 * (now - f.lastT).Seconds()
+		if f.transmitted > f.queuedEnd {
+			f.transmitted = f.queuedEnd
+		}
+	}
+	f.lastT = now
+}
+
+// transmittedAt reports cumulative transmitted bytes at instant now
+// without mutating state.
+func (f *flow) transmittedAt(now time.Duration) float64 {
+	t := f.transmitted
+	if f.active && f.rate > 0 && now > f.lastT {
+		t += f.rate / 8 * (now - f.lastT).Seconds()
+		if t > f.queuedEnd {
+			t = f.queuedEnd
+		}
+	}
+	return t
+}
+
+// enqueue adds a segment. Returns true if the flow transitioned from
+// inactive to active (the caller must then recompute allocations).
+func (f *flow) enqueue(now time.Duration, seg *segment) (activated bool) {
+	f.fold(now)
+	f.queuedEnd += float64(seg.n)
+	seg.end = f.queuedEnd
+	f.segs = append(f.segs, seg)
+	if f.lingerTimer != nil {
+		f.lingerTimer.Stop()
+		f.lingerTimer = nil
+	}
+	f.lingering = false
+	if !f.active {
+		f.active = true
+		f.startDynamics(now)
+		return true
+	}
+	// Already active: just make sure a completion event is pending.
+	f.scheduleCompletion(now)
+	return false
+}
+
+// startDynamics begins window growth and loss sampling for a newly active
+// flow. Caller recomputes rates afterwards.
+func (f *flow) startDynamics(now time.Duration) {
+	f.scheduleGrowth()
+	f.scheduleLoss()
+}
+
+// scheduleGrowth arms the per-RTT window update if the window can still
+// grow and the flow is active.
+func (f *flow) scheduleGrowth() {
+	if f.growing || !f.active || f.rtt <= 0 || f.window >= f.maxWindow {
+		return
+	}
+	f.growing = true
+	f.growTimer = f.net.clk.AfterFunc(f.rtt, f.onGrow)
+}
+
+func (f *flow) onGrow() {
+	n := f.net
+	n.mu.Lock()
+	f.growing = false
+	if f.removed || !f.active {
+		n.mu.Unlock()
+		return
+	}
+	wasCap := f.windowCap
+	if f.window < f.ssthresh {
+		f.window *= 2 // slow start
+	} else {
+		f.window += float64(f.mss) // congestion avoidance
+	}
+	if f.window > f.maxWindow {
+		f.window = f.maxWindow
+	}
+	f.updateWindowCap()
+	f.scheduleGrowth()
+	// Only re-allocate if this flow was actually window-limited: growing
+	// a window below the resource share changes nothing.
+	if f.rate >= wasCap-1e-6 {
+		n.recomputeLocked()
+	}
+	n.mu.Unlock()
+}
+
+// scheduleLoss samples the next random-loss instant from the flow's
+// current rate and the loss probability accumulated along its path.
+func (f *flow) scheduleLoss() {
+	if f.lossTimer != nil {
+		f.lossTimer.Stop()
+		f.lossTimer = nil
+	}
+	if !f.active || f.removed {
+		return
+	}
+	var p float64
+	for _, s := range f.path {
+		p += s.loss
+	}
+	if p <= 0 || f.rate <= 0 {
+		return
+	}
+	pktPerSec := f.rate / 8 / float64(f.mss)
+	lambda := pktPerSec * p
+	if lambda <= 0 {
+		return
+	}
+	f.lossRate = f.rate
+	wait := f.net.clk.RandExp(1 / lambda)
+	f.lossTimer = f.net.clk.AfterFunc(time.Duration(wait*float64(time.Second)), f.onLoss)
+}
+
+func (f *flow) onLoss() {
+	n := f.net
+	n.mu.Lock()
+	if f.removed || !f.active {
+		n.mu.Unlock()
+		return
+	}
+	f.ssthresh = math.Max(f.window/2, float64(2*f.mss))
+	f.window = f.ssthresh
+	f.updateWindowCap()
+	f.scheduleGrowth()
+	n.recomputeLocked()
+	f.scheduleLoss()
+	n.mu.Unlock()
+}
+
+// setRate applies a newly computed fair rate (caller folded to now) and
+// reschedules the head-of-queue completion event. Unchanged rates with an
+// armed completion need no rescheduling (the timer stays accurate), which
+// keeps global recomputations cheap.
+func (f *flow) setRate(now time.Duration, rate float64) {
+	unchanged := rate == f.rate
+	f.rate = rate
+	f.lastT = now
+	if unchanged && f.doneTimer != nil {
+		return
+	}
+	f.scheduleCompletion(now)
+	// Loss is a Poisson process in packets, so its intensity tracks the
+	// rate: re-sample the next loss whenever the rate moves materially.
+	if f.lossTimer == nil || rate > 1.5*f.lossRate || rate < 0.67*f.lossRate {
+		f.scheduleLoss()
+	}
+}
+
+// scheduleCompletion arms (or re-arms) the event that fires when the head
+// segment finishes transmitting. Zero-length (FIN) heads complete
+// immediately.
+func (f *flow) scheduleCompletion(now time.Duration) {
+	if f.doneTimer != nil {
+		f.doneTimer.Stop()
+		f.doneTimer = nil
+	}
+	f.completeReady(now)
+	if len(f.segs) == 0 || f.removed {
+		return
+	}
+	if f.rate <= 0 {
+		return // stalled (outage); re-armed on next recompute
+	}
+	need := f.segs[0].end - f.transmittedAt(now)
+	if need < 0 {
+		need = 0
+	}
+	// Round up by one tick so the timer never fires a fraction of a byte
+	// early (which would re-arm a zero-delay event forever).
+	secs := need * 8 / f.rate
+	const maxDelay = 1000 * time.Hour
+	d := maxDelay
+	if secs < maxDelay.Seconds() {
+		d = time.Duration(secs*float64(time.Second)) + time.Nanosecond
+	}
+	f.doneTimer = f.net.clk.AfterFunc(d, f.onSegmentDone)
+}
+
+func (f *flow) onSegmentDone() {
+	n := f.net
+	n.mu.Lock()
+	if f.removed {
+		n.mu.Unlock()
+		return
+	}
+	now := n.clk.Now().Sub(vtime.Epoch)
+	f.fold(now)
+	f.doneTimer = nil
+	f.scheduleCompletion(now)
+	n.mu.Unlock()
+}
+
+// completeReady retires every head segment already fully transmitted:
+// schedules its delivery owd later and wakes blocked writers. If the
+// queue drains, a linger timer delays deactivation so back-to-back writes
+// don't thrash the allocator.
+func (f *flow) completeReady(now time.Duration) {
+	done := f.transmittedAt(now)
+	for len(f.segs) > 0 && f.segs[0].end <= done+1e-3 {
+		seg := f.segs[0]
+		f.segs = f.segs[1:]
+		rx := f.conn.eps[1-f.dir]
+		f.net.clk.AfterFunc(f.owd, func() { rx.deliver(seg) })
+	}
+	f.conn.writeCond[f.dir].Broadcast()
+	if len(f.segs) == 0 && f.active && !f.lingering {
+		f.lingering = true
+		linger := f.rtt
+		if linger <= 0 {
+			linger = time.Millisecond
+		}
+		f.lingerTimer = f.net.clk.AfterFunc(linger, f.onLinger)
+	}
+}
+
+func (f *flow) onLinger() {
+	n := f.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f.removed || !f.lingering || len(f.segs) > 0 {
+		f.lingering = false
+		return
+	}
+	f.lingering = false
+	f.active = false
+	if f.lossTimer != nil {
+		f.lossTimer.Stop()
+		f.lossTimer = nil
+	}
+	if f.growTimer != nil {
+		f.growTimer.Stop()
+		f.growing = false
+	}
+	n.recomputeLocked()
+}
+
+// remove permanently retires the flow, folding its transmitted bytes into
+// the source host's cumulative counters. Caller holds Net.mu.
+func (f *flow) remove(now time.Duration) {
+	if f.removed {
+		return
+	}
+	f.fold(now)
+	f.removed = true
+	f.active = false
+	for _, t := range []vtime.Timer{f.doneTimer, f.lossTimer, f.growTimer, f.lingerTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	if f.src != nil && f.dst != nil {
+		if f.src.retiredBytesTo == nil {
+			f.src.retiredBytesTo = map[string]float64{}
+		}
+		f.src.retiredBytesTo[f.dst.name] += f.transmitted
+	}
+	delete(f.net.flows, f)
+}

@@ -1,0 +1,627 @@
+// Package simnet is a deterministic, virtual-time wide-area network
+// simulator. It stands in for the SciNET / NTON / HSCC infrastructure and
+// the SC'00 cluster hardware of the paper's experiments (DESIGN.md §1).
+//
+// # Model
+//
+// The topology is a graph of named nodes joined by full-duplex links with
+// capacity, propagation delay and a random per-packet loss probability.
+// Hosts are leaf nodes that carry additional per-host resources: a CPU
+// budget consumed per byte and per frame (gigabit interrupt servicing —
+// the bottleneck the paper identifies for its sustained rates) and an
+// optional disk bandwidth cap (the bottleneck in Figure 8).
+//
+// Traffic follows a fluid-flow TCP model. Each active connection
+// direction is a flow with an AIMD congestion window (slow start, additive
+// increase, halving on loss) bounded by the negotiated socket buffer — so
+// the bandwidth×delay product tuning that §7 of the paper calls critical
+// emerges naturally. Instantaneous flow rates are the weighted max-min
+// fair allocation over every resource on the flow's path, recomputed when
+// flows start or stop, windows change, losses strike, or faults alter
+// capacities. Between recomputations rates are constant, so hours of
+// virtual transfer cost only a handful of events.
+//
+// Connections implement net.Conn. Bulk payload normally moves through the
+// virtual fast path (transport.VirtualWriter/VirtualReader): only byte
+// counts cross the simulated wire, so the 230.8 GB hour of Table 1 runs
+// in milliseconds with no allocation. Small protocol messages are carried
+// as real bytes with correct ordering and latency.
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"esgrid/internal/vtime"
+)
+
+// Default TCP parameters; values chosen to match the paper's testbed
+// descriptions (§7: 1 MB tuned buffers vs small OS defaults).
+const (
+	DefaultBufferBytes = 64 * 1024 // untuned OS socket buffer
+	DefaultMSS         = 1460      // standard Ethernet MSS
+	JumboMSS           = 8960      // jumbo frames (§7 discussion)
+	initialWindowMSS   = 4         // initial congestion window, in MSS
+)
+
+// LinkConfig describes one full-duplex link.
+type LinkConfig struct {
+	// CapacityBps is the data capacity of each direction, bits/second.
+	CapacityBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// LossRate is the probability that any given packet is lost,
+	// independently; it drives AIMD window halving (0 = clean link).
+	LossRate float64
+}
+
+// HostConfig describes per-host resources.
+type HostConfig struct {
+	// CPU, if non-nil, bounds the host's aggregate packet-processing
+	// throughput (the paper's "CPU was running at near 100% capacity").
+	CPU *CPUConfig
+	// DiskBps, if > 0, caps the aggregate rate of disk-bound flows at
+	// this host, bits/second (Figure 8's ~80 Mb/s plateau).
+	DiskBps float64
+	// DefaultBufferBytes overrides the initial socket buffer for
+	// connections made by this host (0 = DefaultBufferBytes).
+	DefaultBufferBytes int
+	// MSS overrides the host's TCP segment size (0 = DefaultMSS;
+	// JumboMSS models 9000-byte jumbo frames, §7).
+	MSS int
+}
+
+// CPUConfig models network-processing CPU cost. A flow moving at R
+// bytes/s with maximum segment size mss consumes R*(PerByte + PerFrame/mss)
+// of the host's budget of 1.0. Interrupt coalescing divides PerFrame;
+// jumbo frames raise mss; both are the remedies §7 discusses.
+type CPUConfig struct {
+	PerByte  float64 // budget consumed per byte moved
+	PerFrame float64 // budget consumed per frame (interrupt) handled
+	Coalesce float64 // interrupt coalescing factor (>=1 divides PerFrame; 0 = 1)
+}
+
+// GigabitHostCPU returns the CPU model used for the SC'00 gigabit
+// workstations: calibrated so that a single untuned host saturates its CPU
+// near 650 Mb/s at standard frames without coalescing, and proportionally
+// higher with coalescing or jumbo frames.
+func GigabitHostCPU(coalesce float64) *CPUConfig {
+	return &CPUConfig{
+		PerByte:  4.0e-9,  // ~250 MB/s memory/copy path ceiling alone
+		PerFrame: 1.25e-5, // ~80k interrupts/s ceiling alone
+		Coalesce: coalesce,
+	}
+}
+
+// weight returns the CPU budget consumed per bit/s of flow rate.
+func (c *CPUConfig) weight(mss int) float64 {
+	co := c.Coalesce
+	if co < 1 {
+		co = 1
+	}
+	return (c.PerByte + c.PerFrame/co/float64(mss)) / 8
+}
+
+// Net is the simulator. All methods are safe for concurrent use by
+// goroutines managed by the simulation's vtime.Sim.
+type Net struct {
+	clk *vtime.Sim
+
+	mu        sync.Mutex
+	nodes     map[string]*node
+	hosts     map[string]*Host
+	links     []*Link
+	flows     map[*flow]struct{}
+	listeners map[string]*Listener // "host:port"
+	routes    map[[2]string][]*simplex
+	dnsUp     bool
+	nextPort  int
+	nextResID int
+
+	// allocator scratch, reused across recomputations
+	scrResidual []float64
+	scrWsum     []float64
+	scrTouched  []int
+	scrFlows    []*flow
+}
+
+type node struct {
+	name  string
+	edges []*simplex // outgoing directed edges
+}
+
+// Link is a full-duplex link between two nodes.
+type Link struct {
+	net  *Net
+	Name string
+	A, B string
+	fwd  *simplex // A -> B
+	rev  *simplex // B -> A
+}
+
+// simplex is one direction of a link; it is a fairness resource.
+type simplex struct {
+	res
+	link  *Link
+	from  *node
+	to    *node
+	delay time.Duration
+	loss  float64
+}
+
+// res is a shared capacity resource participating in max-min allocation.
+type res struct {
+	name   string
+	id     int     // dense index into the allocator's scratch arrays
+	capBps float64 // configured capacity, bits/s
+	factor float64 // degradation factor (faults), 1 = healthy
+	up     bool
+}
+
+func (r *res) effective() float64 {
+	if !r.up {
+		return 0
+	}
+	return r.capBps * r.factor
+}
+
+// New creates an empty simulated network on the given simulated clock.
+func New(clk *vtime.Sim) *Net {
+	return &Net{
+		clk:       clk,
+		nodes:     map[string]*node{},
+		hosts:     map[string]*Host{},
+		flows:     map[*flow]struct{}{},
+		listeners: map[string]*Listener{},
+		routes:    map[[2]string][]*simplex{},
+		dnsUp:     true,
+		nextPort:  40000,
+	}
+}
+
+// Clock returns the simulated clock driving this network.
+func (n *Net) Clock() *vtime.Sim { return n.clk }
+
+// AddNode registers a router/switch node with the given name.
+func (n *Net) AddNode(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodeLocked(name)
+}
+
+func (n *Net) nodeLocked(name string) *node {
+	if nd, ok := n.nodes[name]; ok {
+		return nd
+	}
+	nd := &node{name: name}
+	n.nodes[name] = nd
+	return nd
+}
+
+// AddHost registers a host node. Hosts originate and terminate traffic and
+// carry CPU/disk resources.
+func (n *Net) AddHost(name string, cfg HostConfig) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.hosts[name]; dup {
+		panic("simnet: duplicate host " + name)
+	}
+	nd := n.nodeLocked(name)
+	h := &Host{net: n, name: name, node: nd, cfg: cfg}
+	if cfg.CPU != nil {
+		h.cpu = &res{name: "cpu:" + name, id: n.newResIDLocked(), capBps: 1.0, factor: 1, up: true}
+	}
+	if cfg.DiskBps > 0 {
+		h.disk = &res{name: "disk:" + name, id: n.newResIDLocked(), capBps: cfg.DiskBps, factor: 1, up: true}
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Host returns a previously added host, or nil.
+func (n *Net) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hosts[name]
+}
+
+// AddLink joins nodes a and b with a full-duplex link. Nodes are created
+// on demand.
+func (n *Net) AddLink(a, b string, cfg LinkConfig) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	na, nb := n.nodeLocked(a), n.nodeLocked(b)
+	l := &Link{net: n, Name: a + "<->" + b, A: a, B: b}
+	l.fwd = &simplex{
+		res:  res{name: a + "->" + b, id: n.newResIDLocked(), capBps: cfg.CapacityBps, factor: 1, up: true},
+		link: l, from: na, to: nb, delay: cfg.Delay, loss: cfg.LossRate,
+	}
+	l.rev = &simplex{
+		res:  res{name: b + "->" + a, id: n.newResIDLocked(), capBps: cfg.CapacityBps, factor: 1, up: true},
+		link: l, from: nb, to: na, delay: cfg.Delay, loss: cfg.LossRate,
+	}
+	na.edges = append(na.edges, l.fwd)
+	nb.edges = append(nb.edges, l.rev)
+	n.links = append(n.links, l)
+	n.routes = map[[2]string][]*simplex{} // invalidate route cache
+	return l
+}
+
+// route returns the directed path from a to b (BFS hop count), cached.
+func (n *Net) routeLocked(a, b string) ([]*simplex, error) {
+	if a == b {
+		return nil, nil
+	}
+	key := [2]string{a, b}
+	if p, ok := n.routes[key]; ok {
+		return p, nil
+	}
+	src, ok := n.nodes[a]
+	if !ok {
+		return nil, fmt.Errorf("simnet: unknown node %q", a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return nil, fmt.Errorf("simnet: unknown node %q", b)
+	}
+	type hop struct {
+		nd  *node
+		via *simplex
+		prv *hop
+	}
+	seen := map[*node]bool{src: true}
+	queue := []*hop{{nd: src}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if h.nd.name == b {
+			var path []*simplex
+			for x := h; x.via != nil; x = x.prv {
+				path = append(path, x.via)
+			}
+			// reverse
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			n.routes[key] = path
+			return path, nil
+		}
+		for _, e := range h.nd.edges {
+			if !seen[e.to] {
+				seen[e.to] = true
+				queue = append(queue, &hop{nd: e.to, via: e, prv: h})
+			}
+		}
+	}
+	return nil, fmt.Errorf("simnet: no route %s -> %s", a, b)
+}
+
+// PathRTT returns the round-trip propagation delay between two nodes.
+func (n *Net) PathRTT(a, b string) (time.Duration, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fwd, err := n.routeLocked(a, b)
+	if err != nil {
+		return 0, err
+	}
+	rev, err := n.routeLocked(b, a)
+	if err != nil {
+		return 0, err
+	}
+	var d time.Duration
+	for _, s := range fwd {
+		d += s.delay
+	}
+	for _, s := range rev {
+		d += s.delay
+	}
+	return d, nil
+}
+
+// SetDNS sets whether name resolution works; while down, Dial fails with
+// a *DNSError (Figure 8's "DNS problems").
+func (n *Net) SetDNS(up bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dnsUp = up
+}
+
+// DNSError reports a simulated name-service failure.
+type DNSError struct{ Name string }
+
+func (e *DNSError) Error() string { return "simnet: cannot resolve " + e.Name + ": DNS unavailable" }
+
+// SetUp brings one link up or down. Bringing a link down stalls flows
+// crossing it; if reset is true it also resets (kills) every connection
+// whose path crosses the link, as a power failure would.
+func (l *Link) SetUp(up bool, reset bool) {
+	n := l.net
+	n.mu.Lock()
+	l.fwd.up = up
+	l.rev.up = up
+	var victims []*Conn
+	if !up && reset {
+		seenConn := map[*Conn]bool{}
+		for f := range n.flows {
+			if f.crosses(l) && !seenConn[f.conn] {
+				seenConn[f.conn] = true
+				victims = append(victims, f.conn)
+			}
+		}
+		// Also reset idle conns (no active flow) crossing the link.
+		for _, h := range n.hosts {
+			for c := range h.conns {
+				if !seenConn[c] && c.crossesLink(l) {
+					seenConn[c] = true
+					victims = append(victims, c)
+				}
+			}
+		}
+	}
+	n.recomputeLocked()
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.reset(fmt.Errorf("simnet: connection reset: link %s failed", l.Name))
+	}
+}
+
+// SetCapacityFactor degrades (or restores) the link's usable capacity
+// (Figure 8's "backbone problems"). factor 1 = healthy.
+func (l *Link) SetCapacityFactor(f float64) {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l.fwd.factor = f
+	l.rev.factor = f
+	n.recomputeLocked()
+}
+
+// SetLossRate changes the link's random packet-loss probability.
+func (l *Link) SetLossRate(p float64) {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l.fwd.loss = p
+	l.rev.loss = p
+}
+
+// Utilization returns the current utilization (0..1) of the busier
+// direction of the link.
+func (l *Link) Utilization() float64 {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var fwd, rev float64
+	for f := range n.flows {
+		for _, s := range f.path {
+			if s == l.fwd {
+				fwd += f.rate
+			}
+			if s == l.rev {
+				rev += f.rate
+			}
+		}
+	}
+	u := math.Max(fwd, rev)
+	if c := l.fwd.effective(); c > 0 {
+		return u / c
+	}
+	return 0
+}
+
+// EstimateBandwidth predicts the rate, in bits/s, that one additional
+// greedy flow from a to b would obtain right now, given current traffic.
+// This is what the Network Weather Service's bandwidth sensor measures.
+func (n *Net) EstimateBandwidth(a, b string) (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	path, err := n.routeLocked(a, b)
+	if err != nil {
+		return 0, err
+	}
+	ha, hb := n.hosts[a], n.hosts[b]
+	probe := &flow{
+		path: path,
+		mss:  DefaultMSS,
+		// A measurement probe is window-unbounded for estimation purposes.
+		windowCap: math.Inf(1),
+	}
+	if ha != nil {
+		probe.src = ha
+	}
+	if hb != nil {
+		probe.dst = hb
+	}
+	fs := append(append([]*flow(nil), n.activeFlowsLocked()...), probe)
+	rates := n.allocate(fs)
+	return rates[len(fs)-1], nil
+}
+
+// newResIDLocked hands out dense resource indices.
+func (n *Net) newResIDLocked() int {
+	id := n.nextResID
+	n.nextResID++
+	return id
+}
+
+// activeFlowsLocked returns flows that currently demand bandwidth, using
+// a reusable scratch slice.
+func (n *Net) activeFlowsLocked() []*flow {
+	fs := n.scrFlows[:0]
+	for f := range n.flows {
+		if f.active {
+			fs = append(fs, f)
+		}
+	}
+	n.scrFlows = fs
+	return fs
+}
+
+// allocate computes the weighted max-min fair rate (bits/s) for each flow
+// by progressive filling, honouring per-flow window caps, link capacities,
+// and host CPU/disk budgets. It does not mutate the flows; rates[i]
+// corresponds to fs[i].
+func (n *Net) allocate(fs []*flow) []float64 {
+	rates := make([]float64, len(fs))
+	if len(fs) == 0 {
+		return rates
+	}
+	if len(n.scrResidual) < n.nextResID {
+		n.scrResidual = make([]float64, n.nextResID)
+		n.scrWsum = make([]float64, n.nextResID)
+	}
+	residual := n.scrResidual
+	wsum := n.scrWsum
+	touched := n.scrTouched[:0]
+	frozen := make([]bool, len(fs))
+	remaining := 0
+	for i, f := range fs {
+		refs := f.refs()
+		if len(refs) == 0 && math.IsInf(f.windowCap, 1) {
+			// Loopback with no constraining resource: effectively instant.
+			rates[i] = loopbackBps
+			frozen[i] = true
+			continue
+		}
+		remaining++
+		for _, rr := range refs {
+			id := rr.r.id
+			if wsum[id] >= 0 { // wsum doubles as the "seen this round" mark
+				wsum[id] = -1
+				residual[id] = rr.r.effective()
+				touched = append(touched, id)
+			}
+		}
+	}
+	n.scrTouched = touched
+	for remaining > 0 {
+		// Weighted demand on each touched resource from unfrozen flows.
+		for _, id := range touched {
+			wsum[id] = 0
+		}
+		for i, f := range fs {
+			if frozen[i] {
+				continue
+			}
+			for _, rr := range f.refs() {
+				wsum[rr.r.id] += rr.w
+			}
+		}
+		// Find the binding constraint: the resource or flow cap that
+		// admits the smallest equal increment. Remembering the argmin and
+		// zeroing it explicitly below makes the loop immune to floating
+		// point residue (cap - (cap/k)*k can be a few ulps above zero).
+		delta := math.Inf(1)
+		minRes := -1
+		for _, id := range touched {
+			if wsum[id] > 0 {
+				if d := residual[id] / wsum[id]; d < delta {
+					delta, minRes = d, id
+				}
+			}
+		}
+		minFlow := -1
+		for i, f := range fs {
+			if !frozen[i] {
+				if d := f.windowCap - rates[i]; d < delta {
+					delta, minFlow, minRes = d, i, -1
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			for i := range fs {
+				if !frozen[i] {
+					rates[i] = loopbackBps
+					frozen[i] = true
+				}
+			}
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		for _, id := range touched {
+			residual[id] -= delta * wsum[id]
+		}
+		if minRes >= 0 {
+			residual[minRes] = 0
+		}
+		for i, f := range fs {
+			if frozen[i] {
+				continue
+			}
+			rates[i] += delta
+			if i == minFlow || rates[i] >= f.windowCap-1e-9 {
+				rates[i] = math.Min(rates[i], f.windowCap)
+				if i == minFlow {
+					rates[i] = f.windowCap
+				}
+				frozen[i] = true
+				remaining--
+				continue
+			}
+			for _, rr := range f.refs() {
+				if residual[rr.r.id] <= 0 {
+					frozen[i] = true
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// loopbackBps is the stand-in rate for unconstrained (same-host) traffic.
+const loopbackBps = 40e9
+
+// recomputeLocked folds elapsed time into every flow's counters at the
+// current instant, recomputes the fair allocation, and reschedules
+// completion events for flows whose rate changed.
+func (n *Net) recomputeLocked() {
+	now := n.clk.Now().Sub(vtime.Epoch)
+	fs := n.activeFlowsLocked()
+	for f := range n.flows {
+		f.fold(now)
+	}
+	rates := n.allocate(fs)
+	for i, f := range fs {
+		f.setRate(now, rates[i])
+	}
+}
+
+// TotalBytesBetween returns cumulative payload bytes transmitted on flows
+// from host a to host b (continuous, including bytes of in-progress
+// segments). Experiments use it for bandwidth metering.
+func (n *Net) TotalBytesBetween(a, b string) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := n.clk.Now().Sub(vtime.Epoch)
+	var total float64
+	for f := range n.flows {
+		if f.src != nil && f.dst != nil && f.src.name == a && f.dst.name == b {
+			total += f.transmittedAt(now)
+		}
+	}
+	for _, h := range n.hosts {
+		if h.name != a {
+			continue
+		}
+		total += h.retiredBytesTo[b]
+	}
+	return total
+}
+
+// LinkBetween returns the link directly joining nodes a and b (in either
+// orientation), or nil. Experiments use it for fault injection.
+func (n *Net) LinkBetween(a, b string) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package subset
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"esgrid/internal/cdf"
+	"esgrid/internal/climate"
+	"esgrid/internal/gridftp"
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+func monthFile(t *testing.T) *cdf.File {
+	t.Helper()
+	m := climate.NewModel("pcm", climate.GridSpec{NLat: 32, NLon: 64, StepsPerMonth: 8})
+	f, err := m.MonthlyFile(climate.VarTemperature, 1998, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("var=tas;time=0:4;lat=-30:30;lon=0:180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Var != "tas" || s.TimeLo != 0 || s.TimeHi != 4 || s.LatLo != -30 || s.LonHi != 180 {
+		t.Fatalf("spec = %+v", s)
+	}
+	for _, bad := range []string{"", "time=0:4", "var=tas;time=4", "var=tas;lat=x:y", "var=tas;junk=1:2"} {
+		if _, err := ParseSpec(bad); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("ParseSpec(%q) err = %v", bad, err)
+		}
+	}
+}
+
+func TestApplySelectsRegion(t *testing.T) {
+	f := monthFile(t)
+	out, err := Apply(f, "var=tas;time=0:2;lat=-30:30;lon=0:90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := out.Shape("tas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape[0] != 2 {
+		t.Fatalf("time steps = %d", shape[0])
+	}
+	lats, _ := out.ReadAll("lat")
+	for _, la := range lats {
+		if la < -30 || la > 30 {
+			t.Fatalf("lat %v outside selection", la)
+		}
+	}
+	lons, _ := out.ReadAll("lon")
+	for _, lo := range lons {
+		if lo > 90 {
+			t.Fatalf("lon %v outside selection", lo)
+		}
+	}
+	// Values must equal the corresponding region of the original.
+	origLats, _ := f.ReadAll("lat")
+	la0 := 0
+	for origLats[la0] < -30 {
+		la0++
+	}
+	orig, err := f.ReadSlab("tas", []int{0, la0, 0}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.ReadSlab("tas", []int{0, 0, 0}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != orig[0] {
+		t.Fatalf("subset value %v != original %v", got[0], orig[0])
+	}
+	if out.Attrs["subset"] == "" {
+		t.Fatal("provenance attr missing")
+	}
+}
+
+func TestApplyEmptySelection(t *testing.T) {
+	f := monthFile(t)
+	if _, err := Apply(f, "var=tas;lat=91:95"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Apply(f, "var=tas;time=5:3"); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Apply(f, "var=nope"); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestStoreServesWholeFilesAndSubsets(t *testing.T) {
+	s := NewStore()
+	if err := s.PutFile("pcm.tas.1998-07.nc", monthFile(t)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.Stat("pcm.tas.1998-07.nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := s.OpenSubset("pcm.tas.1998-07.nc", "var=tas;time=0:2;lat=-30:30;lon=0:90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Size() >= full/4 {
+		t.Fatalf("subset %d bytes not much smaller than full %d", src.Size(), full)
+	}
+	if _, err := s.OpenSubset("missing.nc", "var=tas"); !errors.Is(err, gridftp.ErrNoSuchFile) {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+// TestESUBOverSimnet runs the ESG-II flow end to end: the client asks the
+// server to subset server-side; only the extracted bytes cross the WAN,
+// and the received bytes decode to the right region.
+func TestESUBOverSimnet(t *testing.T) {
+	clk := vtime.NewSim(1)
+	n := simnet.New(clk)
+	n.AddHost("ncar", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddHost("desk", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddLink("ncar", "desk", simnet.LinkConfig{CapacityBps: 45e6, Delay: 20 * time.Millisecond})
+	store := NewStore()
+	clk.Run(func() {
+		if err := store.PutFile("pcm.tas.1998-07.nc", monthFile(t)); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := gridftp.NewServer(gridftp.Config{
+			Clock: clk, Net: n.Host("ncar"), Host: "ncar", Store: store,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _ := n.Host("ncar").Listen(":2811")
+		clk.Go(func() { srv.Serve(l) })
+
+		cli, err := gridftp.Dial(gridftp.ClientConfig{
+			Clock: clk, Net: n.Host("desk"), Parallelism: 2, BufferBytes: 1 << 20,
+		}, "ncar:2811")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+
+		spec := "var=tas;time=0:2;lat=-30:30;lon=0:90"
+		subSize, err := cli.SubsetSize("pcm.tas.1998-07.nc", spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullSize, _ := cli.Size("pcm.tas.1998-07.nc")
+		if subSize <= 0 || subSize >= fullSize/4 {
+			t.Fatalf("subset size %d vs full %d", subSize, fullSize)
+		}
+		sink := gridftp.NewBytesSink(subSize)
+		st, err := cli.GetSubset("pcm.tas.1998-07.nc", spec, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Complete(); err != nil {
+			t.Fatal(err)
+		}
+		if st.Bytes != subSize {
+			t.Fatalf("moved %d bytes, want %d", st.Bytes, subSize)
+		}
+		got, err := cdf.Decode(bytes.NewReader(sink.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape, err := got.Shape("tas")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shape[0] != 2 {
+			t.Fatalf("received %d time steps", shape[0])
+		}
+		// The unsupported-store path replies cleanly.
+		vstore := gridftp.NewVirtualStore()
+		vstore.Put("x", 10)
+		srv2, _ := gridftp.NewServer(gridftp.Config{Clock: clk, Net: n.Host("ncar"), Host: "ncar", Store: vstore})
+		l2, _ := n.Host("ncar").Listen(":2812")
+		clk.Go(func() { srv2.Serve(l2) })
+		cli2, err := gridftp.Dial(gridftp.ClientConfig{Clock: clk, Net: n.Host("desk")}, "ncar:2812")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli2.Close()
+		if _, err := cli2.SubsetSize("x", "var=tas"); err == nil {
+			t.Fatal("subsetting on a non-subset store succeeded")
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds a single length-prefixed frame; control messages in
+// ESG are small, so anything larger indicates a corrupted stream.
+const MaxFrameBytes = 16 << 20
+
+// WriteFrame writes a 4-byte big-endian length prefix followed by p.
+func WriteFrame(w io.Writer, p []byte) error {
+	if len(p) > MaxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(p)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(r, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteJSON marshals v and writes it as one frame.
+func WriteJSON(w io.Writer, v any) error {
+	p, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, p)
+}
+
+// ReadJSON reads one frame and unmarshals it into v.
+func ReadJSON(r io.Reader, v any) error {
+	p, err := ReadFrame(r)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(p, v)
+}

@@ -1,0 +1,280 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Epoch is the instant at which every simulated clock starts: the first
+// day of the SC'00 exhibition, during which the paper's experiments ran.
+var Epoch = time.Date(2000, time.November, 6, 8, 0, 0, 0, time.UTC)
+
+// Sim is a deterministic discrete-event simulated clock.
+//
+// Scheduling model: goroutines started with Go (or the function passed to
+// Run) are "managed". The clock counts how many managed goroutines are
+// runnable; when a managed goroutine blocks in Sleep or Cond.Wait the
+// count drops, and the last goroutine to block advances virtual time by
+// firing the earliest pending event(s) until some goroutine is runnable
+// again. Time therefore advances only at quiescence, which makes the
+// simulation repeatable and lets hours of virtual time pass in
+// microseconds of real time.
+//
+// Event callbacks scheduled with AfterFunc run at their due time, on the
+// goroutine that happened to advance the clock; they must not block.
+type Sim struct {
+	mu        sync.Mutex
+	now       time.Duration // offset from Epoch
+	queue     eventQueue
+	seq       uint64
+	runnable  int
+	advancing bool
+	parked    int
+	stopc     chan struct{}
+	stopped   bool
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index, q[j].index = i, j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// NewSim returns a simulated clock whose random source is seeded with
+// seed, so runs are reproducible.
+func NewSim(seed int64) *Sim {
+	return &Sim{
+		stopc: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// simStopped is the panic value used to unwind managed goroutines that are
+// still parked when Run returns; Go's wrapper recovers it.
+type stoppedPanic struct{}
+
+// ErrStopped is returned by helpers that observe a torn-down simulation.
+var ErrStopped = fmt.Errorf("vtime: simulation stopped")
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Epoch.Add(s.now)
+}
+
+// Elapsed returns the virtual time elapsed since the simulation started.
+func (s *Sim) Elapsed() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Rand returns a deterministic pseudo-random float64 in [0,1).
+func (s *Sim) Rand() float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Float64()
+}
+
+// RandExp returns an exponentially distributed value with the given mean.
+func (s *Sim) RandExp(mean float64) float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.ExpFloat64() * mean
+}
+
+// RandNorm returns a normally distributed value with the given mean and
+// standard deviation.
+func (s *Sim) RandNorm(mean, stddev float64) float64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.NormFloat64()*stddev + mean
+}
+
+// AfterFunc implements Clock.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &simTimer{s: s, ev: ev}
+}
+
+type simTimer struct {
+	s  *Sim
+	ev *event
+}
+
+// Stop cancels the pending event.
+func (t *simTimer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.ev.cancelled {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// NewCond implements Clock.
+func (s *Sim) NewCond(l sync.Locker) Cond { return newChanCond(s, l) }
+
+// Go implements Clock: fn runs as a managed goroutine.
+func (s *Sim) Go(fn func()) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.runnable++
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stoppedPanic); ok {
+					return // clean unwind at simulation teardown
+				}
+				panic(r)
+			}
+		}()
+		defer s.exit()
+		fn()
+	}()
+}
+
+// Run executes main as a managed goroutine on the caller's stack and
+// returns when main returns. Goroutines still parked at that point are
+// unwound via a recovered panic, so simulations tear down cleanly.
+func (s *Sim) Run(main func()) {
+	s.mu.Lock()
+	s.runnable++
+	s.mu.Unlock()
+	defer func() {
+		// Mark stopped before the final decrement so main's exit does not
+		// fast-forward the clock on behalf of still-parked goroutines.
+		s.mu.Lock()
+		s.stopped = true
+		s.runnable--
+		s.mu.Unlock()
+		close(s.stopc)
+	}()
+	main()
+}
+
+// exit retires a managed goroutine. If it was the last runnable one it
+// must advance time on behalf of parked goroutines, exactly as a parking
+// goroutine would.
+func (s *Sim) exit() {
+	s.mu.Lock()
+	s.runnable--
+	s.maybeAdvanceLocked()
+	s.mu.Unlock()
+}
+
+// Sleep implements Clock. The caller must be a managed goroutine.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	ch := make(chan struct{}, 1)
+	s.AfterFunc(d, func() { s.unpark(ch) })
+	s.park(ch)
+}
+
+// park suspends the calling managed goroutine until ch is signalled. If
+// it was the last runnable goroutine it advances virtual time first.
+func (s *Sim) park(ch chan struct{}) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		panic(stoppedPanic{})
+	}
+	s.runnable--
+	s.parked++
+	s.maybeAdvanceLocked()
+	s.mu.Unlock()
+	select {
+	case <-ch:
+	case <-s.stopc:
+		panic(stoppedPanic{})
+	}
+	s.mu.Lock()
+	s.parked--
+	s.mu.Unlock()
+}
+
+// unpark marks the goroutine waiting on ch runnable and delivers its
+// wakeup. Safe to call from event callbacks and managed goroutines alike.
+func (s *Sim) unpark(ch chan struct{}) {
+	s.mu.Lock()
+	s.runnable++
+	s.mu.Unlock()
+	ch <- struct{}{}
+}
+
+// maybeAdvanceLocked fires pending events while no managed goroutine is
+// runnable. Called with s.mu held; callbacks run with s.mu released.
+func (s *Sim) maybeAdvanceLocked() {
+	for s.runnable == 0 && s.parked > 0 && !s.advancing && !s.stopped {
+		var ev *event
+		for len(s.queue) > 0 {
+			e := heap.Pop(&s.queue).(*event)
+			if !e.cancelled {
+				ev = e
+				break
+			}
+		}
+		if ev == nil {
+			n := s.parked
+			s.mu.Unlock()
+			panic(fmt.Sprintf("vtime: deadlock: %d goroutine(s) parked with no pending events", n))
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		s.advancing = true
+		s.mu.Unlock()
+		ev.fn()
+		s.mu.Lock()
+		s.advancing = false
+	}
+}

@@ -1,0 +1,237 @@
+// Package vtime provides a pluggable notion of time for the ESG
+// reproduction: a Clock interface implemented both by real wall-clock time
+// and by a deterministic discrete-event simulated clock (Sim).
+//
+// All simulation-aware code (the network simulator, NWS sensors, the
+// request manager's monitors, GridFTP timeouts) is written against Clock,
+// so the same protocol code runs over real TCP in real time and over the
+// simulated WAN in virtual time. Virtual time is what makes the paper's
+// one-hour (Table 1) and fourteen-hour (Figure 8) experiments run in
+// milliseconds, deterministically.
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time and time-coupled concurrency. Implementations:
+// Real (wall clock, std goroutines) and Sim (virtual clock, managed
+// goroutines that advance time only at quiescence).
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep pauses the calling goroutine for d. On a Sim clock the caller
+	// must be a managed goroutine (started via Go or Run).
+	Sleep(d time.Duration)
+	// Go starts fn on a new goroutine managed by this clock.
+	Go(fn func())
+	// AfterFunc schedules fn to run after d. fn runs on the clock's event
+	// context and must not block; use Go inside fn for blocking work.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// NewCond returns a condition variable tied to this clock whose
+	// WaitTimeout is measured on this clock.
+	NewCond(l sync.Locker) Cond
+}
+
+// Timer is a cancellable pending AfterFunc.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the call prevented the
+	// function from running.
+	Stop() bool
+}
+
+// Cond is a condition variable usable with both clocks. Unlike sync.Cond
+// it supports waiting with a timeout, which protocol code needs.
+type Cond interface {
+	// Wait atomically unlocks the associated Locker and suspends the
+	// caller until Signal or Broadcast; it relocks before returning.
+	Wait()
+	// WaitTimeout is Wait with a deadline; it reports false if the wait
+	// ended because the timeout elapsed.
+	WaitTimeout(d time.Duration) bool
+	// Signal wakes one waiter, if any.
+	Signal()
+	// Broadcast wakes all waiters.
+	Broadcast()
+}
+
+// Real is the wall-clock Clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Go implements Clock.
+func (Real) Go(fn func()) { go fn() }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, fn func()) Timer { return time.AfterFunc(d, fn) }
+
+// NewCond implements Clock.
+func (Real) NewCond(l sync.Locker) Cond { return newChanCond(Real{}, l) }
+
+// chanCond is a channel-based condition variable that works for any Clock;
+// it implements timeouts by racing a waiter wakeup against an AfterFunc.
+type chanCond struct {
+	clk Clock
+	l   sync.Locker
+
+	mu      sync.Mutex
+	waiters []*waiter
+}
+
+type waiter struct {
+	mu       sync.Mutex
+	ch       chan struct{}
+	fired    bool
+	timedOut bool
+}
+
+// fire claims the waiter for either a signal or a timeout. It reports
+// whether the caller won the race (and so must deliver the wakeup).
+func (w *waiter) fire(timeout bool) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fired {
+		return false
+	}
+	w.fired = true
+	w.timedOut = timeout
+	return true
+}
+
+func newChanCond(clk Clock, l sync.Locker) *chanCond {
+	return &chanCond{clk: clk, l: l}
+}
+
+func (c *chanCond) Wait() { c.wait(-1) }
+
+func (c *chanCond) WaitTimeout(d time.Duration) bool { return c.wait(d) }
+
+func (c *chanCond) wait(d time.Duration) bool {
+	w := &waiter{ch: make(chan struct{}, 1)}
+	c.mu.Lock()
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+
+	var t Timer
+	if d >= 0 {
+		t = c.clk.AfterFunc(d, func() {
+			if w.fire(true) {
+				c.wake(w)
+			}
+		})
+	}
+	c.l.Unlock()
+	// Relock even if await unwinds via the simulation-teardown panic, so
+	// callers' deferred Unlocks stay balanced.
+	defer c.l.Lock()
+	c.await(w)
+	if t != nil {
+		t.Stop()
+	}
+	return !w.timedOut
+}
+
+// await blocks until the waiter's channel is signalled. Sim overrides the
+// blocking via parkCond; for Real this is a plain channel receive.
+func (c *chanCond) await(w *waiter) {
+	if s, ok := c.clk.(*Sim); ok {
+		s.park(w.ch)
+		return
+	}
+	<-w.ch
+}
+
+func (c *chanCond) Signal() {
+	for {
+		c.mu.Lock()
+		if len(c.waiters) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.mu.Unlock()
+		if w.fire(false) {
+			c.wake(w)
+			return
+		}
+		// That waiter had already timed out; try the next one.
+	}
+}
+
+func (c *chanCond) Broadcast() {
+	c.mu.Lock()
+	ws := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	for _, w := range ws {
+		if w.fire(false) {
+			c.wake(w)
+		}
+	}
+}
+
+func (c *chanCond) wake(w *waiter) {
+	if s, ok := c.clk.(*Sim); ok {
+		s.unpark(w.ch)
+		return
+	}
+	w.ch <- struct{}{}
+}
+
+// WaitGroup is a Clock-aware analog of sync.WaitGroup: Wait suspends in a
+// way the simulated scheduler understands.
+type WaitGroup struct {
+	clk  Clock
+	mu   sync.Mutex
+	cond Cond
+	n    int
+}
+
+// NewWaitGroup returns a WaitGroup bound to clk.
+func NewWaitGroup(clk Clock) *WaitGroup {
+	wg := &WaitGroup{clk: clk}
+	wg.cond = clk.NewCond(&wg.mu)
+	return wg
+}
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.mu.Lock()
+	wg.n += delta
+	if wg.n < 0 {
+		wg.mu.Unlock()
+		panic("vtime: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.cond.Broadcast()
+	}
+	wg.mu.Unlock()
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Go runs fn on a managed goroutine and tracks it on the group.
+func (wg *WaitGroup) Go(fn func()) {
+	wg.Add(1)
+	wg.clk.Go(func() {
+		defer wg.Done()
+		fn()
+	})
+}
+
+// Wait blocks until the counter is zero.
+func (wg *WaitGroup) Wait() {
+	wg.mu.Lock()
+	for wg.n != 0 {
+		wg.cond.Wait()
+	}
+	wg.mu.Unlock()
+}
