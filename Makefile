@@ -1,0 +1,30 @@
+# Tier-1 verification plus the allocator benchmark smoke, per ROADMAP.md.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the allocator microbenchmarks — proves the benchmark
+# harness itself still compiles and runs, without paying for full timing.
+bench-smoke:
+	$(GO) test ./internal/simnet/ -run '^$$' -bench BenchmarkAllocate -benchtime=1x
+
+# Full paper-figure and allocator benchmark suite.
+bench:
+	$(GO) test -bench . -benchtime=1x ./...
+
+check: build vet race bench-smoke

@@ -240,6 +240,22 @@ func BenchmarkEndToEndDemo(b *testing.B) {
 	b.ReportMetric(float64(bytes)/1e9, "GB-moved")
 }
 
+// BenchmarkScale regenerates S11: simulator scalability with N
+// concurrent clients, reporting simulated seconds per wall-clock second
+// at the 1024-client population the incremental allocator targets.
+func BenchmarkScale(b *testing.B) {
+	var last experiments.ScaleResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunScale(int64(3+i), []int{1024}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.SimElapsed[0].Seconds()/last.WallElapsed[0].Seconds(), "sim-s/wall-s")
+	b.ReportMetric(float64(last.AllocFlows[0])/float64(last.AllocPasses[0]), "flows/pass")
+}
+
 // BenchmarkServerSideSubset regenerates S10: ESG-II / DODS-style
 // server-side subsetting (§9 future work, implemented here).
 func BenchmarkServerSideSubset(b *testing.B) {

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, demo)")
+	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, demo)")
 	full := flag.Bool("full", false, "paper-scale durations (1h Table 1, 14h Figure 8)")
 	seed := flag.Int64("seed", 2000, "simulation seed")
 	flag.Parse()
@@ -45,10 +45,11 @@ func main() {
 		"cpu":        runCPU,
 		"nws":        runNWS,
 		"subset":     runSubsetExp,
+		"scale":      runScale,
 		"demo":       runDemo,
 	}
 	order := []string{"table1", "figure8", "chancache", "parallel", "buffers", "stripes",
-		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "demo"}
+		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "demo"}
 
 	var selected []string
 	if *expFlag == "all" {
@@ -272,6 +273,23 @@ func runSubsetExp(seed int64, full bool) error {
 		return err
 	}
 	fmt.Print(experiments.Table("measured (tropical-Pacific selection over a 45 Mb/s WAN):", r.Rows()))
+	return nil
+}
+
+func runScale(seed int64, full bool) error {
+	mb := int64(8)
+	clients := []int{16, 64, 256, 1024}
+	if full {
+		mb = 32
+		clients = append(clients, 4096)
+	}
+	header("S11 — simulator scalability: N concurrent clients",
+		"component-scoped incremental allocation keeps per-event cost O(component)")
+	r, err := experiments.RunScale(seed, clients, mb)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Table(fmt.Sprintf("measured (%d MB per client, 8 clients/site):", mb), r.Rows()))
 	return nil
 }
 

@@ -306,6 +306,65 @@ func TestSubsetSavesBytesAndTime(t *testing.T) {
 	}
 }
 
+// TestScaleSweepRuns drives the scale experiment through the full sweep,
+// including the N=1024 population the incremental allocator exists for.
+// Small files keep the virtual workload short; the point is that the
+// run completes and the accounting is consistent.
+func TestScaleSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-client sweep in -short mode")
+	}
+	r, err := RunScale(3, []int{16, 64, 256, 1024}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range r.Clients {
+		if r.SimElapsed[i] <= 0 {
+			t.Errorf("%d clients: no virtual time elapsed", c)
+		}
+		want := int64(c) * r.FileBytes
+		if r.Bytes[i] != want {
+			t.Errorf("%d clients: %d bytes delivered, want %d", c, r.Bytes[i], want)
+		}
+		if r.AllocPasses[i] == 0 {
+			t.Errorf("%d clients: no allocation passes recorded", c)
+		}
+		// Component scoping: the mean re-allocated component must stay
+		// around one site's flow population, far below the total.
+		perPass := float64(r.AllocFlows[i]) / float64(r.AllocPasses[i])
+		if c >= 256 && perPass > float64(c) {
+			t.Errorf("%d clients: %.1f flows/pass — allocator is not component-scoped", c, perPass)
+		}
+	}
+	if len(r.Rows()) != len(r.Clients) {
+		t.Error("rows mismatch")
+	}
+}
+
+// TestScaleDeterministic re-runs one population with the same seed and
+// demands an identical outcome (virtual elapsed time, bytes, allocation
+// pass counts) — the event trace must be reproducible.
+func TestScaleDeterministic(t *testing.T) {
+	a, err := RunScale(9, []int{48}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScale(9, []int{48}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimElapsed[0] != b.SimElapsed[0] {
+		t.Errorf("virtual elapsed diverged: %v vs %v", a.SimElapsed[0], b.SimElapsed[0])
+	}
+	if a.Bytes[0] != b.Bytes[0] {
+		t.Errorf("bytes diverged: %d vs %d", a.Bytes[0], b.Bytes[0])
+	}
+	if a.AllocPasses[0] != b.AllocPasses[0] || a.AllocFlows[0] != b.AllocFlows[0] {
+		t.Errorf("allocation trace diverged: %d/%d vs %d/%d",
+			a.AllocPasses[0], a.AllocFlows[0], b.AllocPasses[0], b.AllocFlows[0])
+	}
+}
+
 // TestResultFormatting exercises every experiment's Rows() renderer on
 // small runs, so the esgbench output paths stay covered.
 func TestResultFormatting(t *testing.T) {

@@ -1,0 +1,255 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"esgrid/internal/vtime"
+)
+
+// Incremental, component-scoped max-min allocation.
+//
+// The fluid model's cost driver is recomputation: every window-growth,
+// loss, enqueue and linger event changes some flow's demand and requires a
+// fresh fair allocation. The reference allocator (recomputeLocked) folds
+// and re-allocates every active flow on every event — O(events x flows x
+// path), which is fine for the paper's eight striped pairs but quadratic
+// blow-up for thousands of concurrent transfers.
+//
+// Two observations fix this:
+//
+//  1. Max-min allocation decomposes exactly over the connected components
+//     of the resource-sharing graph (flows are vertices; two flows are
+//     adjacent when they consume a common link direction or host CPU/disk
+//     budget). Flows in different components cannot influence each
+//     other's rates, so an event only requires re-allocating the
+//     component(s) it touches.
+//
+//  2. Many events land on the same virtual instant (eight stripe streams
+//     all losing their linger timer at once, a burst of enqueues). One
+//     allocation pass at that instant covers them all.
+//
+// The implementation maintains, on every resource, the list of active
+// flows consuming it (attachLocked/detachLocked keep the lists in sync as
+// flows activate, deactivate and change disk binding). Events mark the
+// flows or resources they touch dirty and arm a single zero-delay flush
+// event; when the simulator reaches quiescence at that same instant,
+// flushLocked gathers each dirty component with an epoch-stamped BFS over
+// the membership lists and runs the progressive-filling allocator on just
+// those flows. Everything is scratch-buffered, so a steady-state
+// recomputation performs no heap allocation.
+//
+// Ordering everywhere is append-order over slices — never map iteration —
+// so allocation order, and with it floating-point rounding and timer
+// sequencing, is identical from run to run.
+
+// resEntry records one active flow's membership in a resource's flow
+// list. ref is the index of this resource within the flow's cached refs,
+// so a swap-remove can fix the moved entry's back-pointer in O(1).
+type resEntry struct {
+	f   *flow
+	ref int
+}
+
+// attachLocked enters an activating flow into the membership lists of
+// every resource it consumes. Caller holds Net.mu.
+func (n *Net) attachLocked(f *flow) {
+	if f.attached {
+		return
+	}
+	refs := f.refs()
+	if cap(f.resPos) < len(refs) {
+		f.resPos = make([]int, len(refs))
+	}
+	f.resPos = f.resPos[:len(refs)]
+	for j, rr := range refs {
+		f.resPos[j] = len(rr.r.flows)
+		rr.r.flows = append(rr.r.flows, resEntry{f: f, ref: j})
+	}
+	f.attached = true
+}
+
+// detachLocked removes a deactivating flow from its resources' membership
+// lists and marks those resources dirty, since the remaining flows can
+// now claim its share. Caller holds Net.mu.
+func (n *Net) detachLocked(f *flow) {
+	if !f.attached {
+		return
+	}
+	for j, rr := range f.refs() {
+		r := rr.r
+		p := f.resPos[j]
+		last := len(r.flows) - 1
+		moved := r.flows[last]
+		r.flows[p] = moved
+		moved.f.resPos[moved.ref] = p
+		r.flows[last] = resEntry{}
+		r.flows = r.flows[:last]
+		n.markResDirtyLocked(r)
+	}
+	f.attached = false
+}
+
+// markFlowDirtyLocked queues one flow's component for re-allocation at
+// this instant and arms the coalesced flush.
+func (n *Net) markFlowDirtyLocked(f *flow) {
+	if !f.dirty {
+		f.dirty = true
+		n.dirtyFlows = append(n.dirtyFlows, f)
+	}
+	n.requestFlushLocked()
+}
+
+// markResDirtyLocked queues the component(s) of every flow on a resource
+// for re-allocation (capacity faults, departures) and arms the flush.
+func (n *Net) markResDirtyLocked(r *res) {
+	if !r.dirty {
+		r.dirty = true
+		n.dirtyRes = append(n.dirtyRes, r)
+	}
+	n.requestFlushLocked()
+}
+
+// flowActivatedLocked registers a newly active flow with the allocator.
+func (n *Net) flowActivatedLocked(f *flow) {
+	n.attachLocked(f)
+	n.markFlowDirtyLocked(f)
+}
+
+// flowDeactivatedLocked withdraws a no-longer-active flow; its former
+// resources are marked dirty by the detach.
+func (n *Net) flowDeactivatedLocked(f *flow) {
+	n.detachLocked(f)
+}
+
+// requestFlushLocked arms a zero-delay flush event, unless one is already
+// pending. Every event that dirties allocation state at virtual instant T
+// funnels into the single flush that fires at T once the simulation is
+// quiescent — that is what coalesces a burst of same-instant events into
+// one allocation pass.
+func (n *Net) requestFlushLocked() {
+	if n.flushPending {
+		return
+	}
+	n.flushPending = true
+	n.clk.AfterFunc(0, func() {
+		n.mu.Lock()
+		n.flushPending = false
+		n.flushLocked()
+		n.mu.Unlock()
+	})
+}
+
+// flushLocked re-allocates every dirty component at the current instant.
+// It is cheap (a no-op) when nothing is dirty, so read paths call it
+// directly to observe fresh rates without waiting for the flush event.
+func (n *Net) flushLocked() {
+	if len(n.dirtyFlows) == 0 && len(n.dirtyRes) == 0 {
+		return
+	}
+	now := n.clk.Now().Sub(vtime.Epoch)
+	n.epoch++
+	for _, f := range n.dirtyFlows {
+		f.dirty = false
+		if f.removed || !f.active || f.epoch == n.epoch {
+			continue
+		}
+		n.reallocComponentLocked(f, now)
+	}
+	for _, r := range n.dirtyRes {
+		r.dirty = false
+		// Every flow on r is in r's component; the first unvisited one
+		// pulls in all the others (and r itself) via the BFS.
+		for _, e := range r.flows {
+			if e.f.epoch != n.epoch {
+				n.reallocComponentLocked(e.f, now)
+			}
+		}
+	}
+	n.dirtyFlows = n.dirtyFlows[:0]
+	n.dirtyRes = n.dirtyRes[:0]
+	if n.verifyAllocs {
+		n.verifyAllocationsLocked()
+	}
+}
+
+// reallocComponentLocked gathers the connected component containing seed
+// (flows transitively linked through shared resources, epoch-stamped so
+// each flow and resource is visited once per flush) and re-runs the
+// progressive-filling allocator on exactly those flows.
+func (n *Net) reallocComponentLocked(seed *flow, now time.Duration) {
+	comp := n.scrComp[:0]
+	seed.epoch = n.epoch
+	comp = append(comp, seed)
+	for i := 0; i < len(comp); i++ {
+		for _, rr := range comp[i].refs() {
+			r := rr.r
+			if r.epoch == n.epoch {
+				continue
+			}
+			r.epoch = n.epoch
+			for _, e := range r.flows {
+				if e.f.epoch != n.epoch {
+					e.f.epoch = n.epoch
+					comp = append(comp, e.f)
+				}
+			}
+		}
+	}
+	n.scrComp = comp
+	n.allocPasses++
+	n.allocFlows += uint64(len(comp))
+	for _, f := range comp {
+		f.fold(now)
+	}
+	rates := n.allocate(comp)
+	for i, f := range comp {
+		f.setRate(now, rates[i])
+	}
+}
+
+// AllocStats reports how many component allocation passes the incremental
+// allocator has run and how many flows those passes visited in total —
+// the work the full recompute-everything path would have multiplied by
+// the entire active-flow count.
+func (n *Net) AllocStats() (passes, flowsVisited uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.allocPasses, n.allocFlows
+}
+
+// SetVerifyAllocations enables a differential cross-check: after every
+// incremental flush the reference full allocator runs over all active
+// flows, and any divergence beyond floating-point tolerance panics. Used
+// by tests; far too slow for production runs.
+func (n *Net) SetVerifyAllocations(v bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.verifyAllocs = v
+}
+
+// verifyAllocationsLocked compares every active flow's incremental rate
+// against the reference allocator's.
+func (n *Net) verifyAllocationsLocked() {
+	fs := n.activeFlowsLocked()
+	// The reference allocate call reuses the scratch rates buffer, which
+	// is safe here because all incremental passes have already consumed
+	// their results into f.rate.
+	rates := n.allocate(fs)
+	for i, f := range fs {
+		want, got := rates[i], f.rate
+		tol := 1e-6*math.Max(math.Abs(want), math.Abs(got)) + 1e-3
+		if math.Abs(want-got) > tol {
+			panic(fmt.Sprintf("simnet: incremental allocation diverged for flow %s->%s: got %v, reference %v",
+				flowEndName(f.src), flowEndName(f.dst), got, want))
+		}
+	}
+}
+
+func flowEndName(h *Host) string {
+	if h == nil {
+		return "?"
+	}
+	return h.name
+}

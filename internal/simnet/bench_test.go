@@ -1,0 +1,143 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"esgrid/internal/vtime"
+)
+
+// buildBenchNet builds a realistic multi-component topology — independent
+// site pairs, as in the Table 1 striped testbed or a multi-user grid with
+// disjoint source/destination sites — carrying nFlows long-running
+// transfers spread evenly across the pairs. Every 4th source host has a
+// CPU budget and every 4th destination a disk cap, so host resources
+// participate in the allocation too.
+func buildBenchNet(nFlows int) (*Net, []*flow) {
+	perPair := 8
+	if nFlows < perPair {
+		perPair = nFlows
+	}
+	pairs := (nFlows + perPair - 1) / perPair
+	clk := vtime.NewSim(1)
+	n := New(clk)
+	flows := make([]*flow, 0, nFlows)
+	for p := 0; p < pairs; p++ {
+		srcCfg := HostConfig{}
+		if p%4 == 1 {
+			srcCfg.CPU = GigabitHostCPU(4)
+		}
+		dstCfg := HostConfig{}
+		if p%4 == 2 {
+			dstCfg.DiskBps = 400e6
+		}
+		src := n.AddHost(fmt.Sprintf("src%04d", p), srcCfg)
+		dst := n.AddHost(fmt.Sprintf("dst%04d", p), dstCfg)
+		n.AddLink(src.name, dst.name, LinkConfig{CapacityBps: 1e9, Delay: 5 * time.Millisecond})
+		n.mu.Lock()
+		path, err := n.routeLocked(src.name, dst.name)
+		n.mu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+		for k := 0; k < perPair && len(flows) < nFlows; k++ {
+			windowCap := math.Inf(1)
+			if k%2 == 1 {
+				windowCap = 60e6 // window-limited below the fair share
+			}
+			f := newChurnFlow(n, src, dst, path, windowCap)
+			f.diskBound = k%3 == 0
+			f.active = true
+			n.mu.Lock()
+			n.flowActivatedLocked(f)
+			n.mu.Unlock()
+			flows = append(flows, f)
+		}
+	}
+	n.mu.Lock()
+	n.flushPending = true // benches drive flushes by hand
+	n.flushLocked()
+	n.mu.Unlock()
+	return n, flows
+}
+
+var benchSizes = []int{16, 256, 1024}
+
+// BenchmarkAllocate measures one progressive-filling pass over all active
+// flows — the inner allocator kernel, which must be allocation-free in
+// steady state.
+func BenchmarkAllocate(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("flows=%d", size), func(b *testing.B) {
+			n, flows := buildBenchNet(size)
+			n.mu.Lock()
+			n.allocate(flows) // warm scratch
+			n.mu.Unlock()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.mu.Lock()
+				n.allocate(flows)
+				n.mu.Unlock()
+			}
+		})
+	}
+}
+
+// BenchmarkRecompute measures the production per-event path: one flow's
+// window changes, its component is marked dirty and the coalesced flush
+// re-allocates just that component. Cost is O(component), independent of
+// the total flow population — compare BenchmarkRecomputeFull.
+func BenchmarkRecompute(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("flows=%d", size), func(b *testing.B) {
+			n, flows := buildBenchNet(size)
+			// One flow per component as the recurring dirty seed (a fixed
+			// seed keeps component ordering, and therefore floating-point
+			// rounding, bitwise stable across flushes).
+			var seeds []*flow
+			for _, f := range flows {
+				if f.dir == 0 && (len(seeds) == 0 || seeds[len(seeds)-1].src != f.src) {
+					seeds = append(seeds, f)
+				}
+			}
+			n.mu.Lock()
+			for _, f := range seeds {
+				n.markFlowDirtyLocked(f)
+				n.flushLocked()
+			}
+			n.mu.Unlock()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.mu.Lock()
+				n.markFlowDirtyLocked(seeds[i%len(seeds)])
+				n.flushLocked()
+				n.mu.Unlock()
+			}
+		})
+	}
+}
+
+// BenchmarkRecomputeFull measures the seed's full-recompute path (fold
+// every flow, re-allocate the whole network) on the same topologies, for
+// comparison with BenchmarkRecompute.
+func BenchmarkRecomputeFull(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("flows=%d", size), func(b *testing.B) {
+			n, _ := buildBenchNet(size)
+			n.mu.Lock()
+			n.recomputeLocked() // warm scratch, arm completion timers
+			n.mu.Unlock()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.mu.Lock()
+				n.recomputeLocked()
+				n.mu.Unlock()
+			}
+		})
+	}
+}

@@ -46,16 +46,10 @@ func (h *Host) CPUUtilization() float64 {
 	n := h.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.flushLocked()
 	var used float64
-	for f := range n.flows {
-		if !f.active {
-			continue
-		}
-		for _, hr := range f.hostResources() {
-			if hr.r == h.cpu {
-				used += f.rate * hr.w
-			}
-		}
+	for _, e := range h.cpu.flows {
+		used += e.f.rate * e.f.refs()[e.ref].w
 	}
 	return used
 }
@@ -227,8 +221,8 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 	c.flows[1].rtt = c.flows[0].rtt
 	c.flows[0].updateWindowCap()
 	c.flows[1].updateWindowCap()
-	n.flows[c.flows[0]] = struct{}{}
-	n.flows[c.flows[1]] = struct{}{}
+	n.registerFlowLocked(c.flows[0])
+	n.registerFlowLocked(c.flows[1])
 	if h.conns == nil {
 		h.conns = map[*Conn]bool{}
 	}
@@ -302,8 +296,7 @@ func (c *Conn) reset(err error) {
 	}
 	c.writeCond[0].Broadcast()
 	c.writeCond[1].Broadcast()
-	c.removeLocked()
-	n.recomputeLocked()
+	c.removeLocked() // detaching the flows marks their resources dirty
 }
 
 // --- Endpoint: net.Conn implementation ---
@@ -345,7 +338,7 @@ func (ep *Endpoint) send(seg *segment) error {
 		return net.ErrClosed
 	}
 	if f.enqueue(n.nowOff(), seg) {
-		n.recomputeLocked()
+		n.flowActivatedLocked(f)
 	}
 	// Block until the segment has been transmitted.
 	for {
@@ -488,12 +481,11 @@ func (ep *Endpoint) Close() error {
 	f := c.flows[ep.idx]
 	if !f.removed {
 		if f.enqueue(n.nowOff(), &segment{fin: true}) {
-			n.recomputeLocked()
+			n.flowActivatedLocked(f)
 		}
 	}
 	if c.eps[0].closed && c.eps[1].closed {
-		c.removeLocked()
-		n.recomputeLocked()
+		c.removeLocked() // detaching the flows marks their resources dirty
 	}
 	return nil
 }
@@ -539,17 +531,18 @@ func (ep *Endpoint) SetBuffer(bytes int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	ep.buf = bytes
-	for i, f := range c.flows {
+	for _, f := range c.flows {
 		eff := float64(min(c.eps[0].buf, c.eps[1].buf))
-		_ = i
 		f.maxWindow = eff
 		if f.window > eff {
 			f.window = eff
 		}
 		f.updateWindowCap()
 		f.scheduleGrowth()
+		if f.active {
+			n.markFlowDirtyLocked(f)
+		}
 	}
-	n.recomputeLocked()
 }
 
 // SetDiskBound marks this connection's payload as staged through this
@@ -560,10 +553,18 @@ func (ep *Endpoint) SetDiskBound(bound bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, f := range c.flows {
+		// Resource membership is about to change: withdraw from the old
+		// resource lists (marking them dirty) before the refs cache is
+		// rebuilt, then rejoin under the new binding.
+		wasAttached := f.attached
+		n.detachLocked(f)
 		f.diskBound = bound
 		f.invalidateRefs()
+		if wasAttached {
+			n.attachLocked(f)
+			n.markFlowDirtyLocked(f)
+		}
 	}
-	n.recomputeLocked()
 }
 
 // BytesWritten returns cumulative payload bytes transmitted from this

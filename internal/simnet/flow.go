@@ -48,6 +48,16 @@ type flow struct {
 	removed     bool
 
 	resRefs []hostRes // cached resource membership (see refs)
+
+	// Incremental allocation state (alloc.go): whether the flow is
+	// entered in its resources' membership lists, its position in each
+	// (parallel to resRefs), the flush visit stamp, whether it is queued
+	// as a dirty seed, and its slot in the Net's (src,dst) pair index.
+	attached bool
+	resPos   []int
+	epoch    uint64
+	dirty    bool
+	pairPos  int
 }
 
 // segment is a unit of enqueued payload: real bytes, virtual length, or a
@@ -227,7 +237,7 @@ func (f *flow) onGrow() {
 	// Only re-allocate if this flow was actually window-limited: growing
 	// a window below the resource share changes nothing.
 	if f.rate >= wasCap-1e-6 {
-		n.recomputeLocked()
+		n.markFlowDirtyLocked(f)
 	}
 	n.mu.Unlock()
 }
@@ -270,7 +280,7 @@ func (f *flow) onLoss() {
 	f.window = f.ssthresh
 	f.updateWindowCap()
 	f.scheduleGrowth()
-	n.recomputeLocked()
+	n.markFlowDirtyLocked(f)
 	f.scheduleLoss()
 	n.mu.Unlock()
 }
@@ -379,7 +389,7 @@ func (f *flow) onLinger() {
 		f.growTimer.Stop()
 		f.growing = false
 	}
-	n.recomputeLocked()
+	n.flowDeactivatedLocked(f)
 }
 
 // remove permanently retires the flow, folding its transmitted bytes into
@@ -391,6 +401,7 @@ func (f *flow) remove(now time.Duration) {
 	f.fold(now)
 	f.removed = true
 	f.active = false
+	f.net.detachLocked(f)
 	for _, t := range []vtime.Timer{f.doneTimer, f.lossTimer, f.growTimer, f.lingerTimer} {
 		if t != nil {
 			t.Stop()
@@ -402,5 +413,5 @@ func (f *flow) remove(now time.Duration) {
 		}
 		f.src.retiredBytesTo[f.dst.name] += f.transmitted
 	}
-	delete(f.net.flows, f)
+	f.net.unregisterFlowLocked(f)
 }

@@ -114,18 +114,35 @@ type Net struct {
 	hosts     map[string]*Host
 	links     []*Link
 	flows     map[*flow]struct{}
+	pairFlows map[pairKey][]*flow // live flows indexed by (src,dst) host
 	listeners map[string]*Listener // "host:port"
 	routes    map[[2]string][]*simplex
 	dnsUp     bool
 	nextPort  int
 	nextResID int
 
+	// Incremental allocation state (see alloc.go): dirty seeds for the
+	// next flush, the pending-flush latch, and the BFS visit epoch.
+	dirtyFlows   []*flow
+	dirtyRes     []*res
+	flushPending bool
+	epoch        uint64
+	verifyAllocs bool
+	allocPasses  uint64 // diagnostic: component allocation passes run
+	allocFlows   uint64 // diagnostic: flows visited across those passes
+
 	// allocator scratch, reused across recomputations
 	scrResidual []float64
 	scrWsum     []float64
 	scrTouched  []int
 	scrFlows    []*flow
+	scrComp     []*flow
+	scrRates    []float64
+	scrFrozen   []bool
 }
+
+// pairKey indexes live flows by source and destination host name.
+type pairKey struct{ src, dst string }
 
 type node struct {
 	name  string
@@ -158,6 +175,13 @@ type res struct {
 	capBps float64 // configured capacity, bits/s
 	factor float64 // degradation factor (faults), 1 = healthy
 	up     bool
+
+	// Incremental allocation state (alloc.go): the active flows
+	// consuming this resource, the flush visit stamp, and whether the
+	// resource is queued as a dirty seed.
+	flows []resEntry
+	epoch uint64
+	dirty bool
 }
 
 func (r *res) effective() float64 {
@@ -174,6 +198,7 @@ func New(clk *vtime.Sim) *Net {
 		nodes:     map[string]*node{},
 		hosts:     map[string]*Host{},
 		flows:     map[*flow]struct{}{},
+		pairFlows: map[pairKey][]*flow{},
 		listeners: map[string]*Listener{},
 		routes:    map[[2]string][]*simplex{},
 		dnsUp:     true,
@@ -359,7 +384,8 @@ func (l *Link) SetUp(up bool, reset bool) {
 			}
 		}
 	}
-	n.recomputeLocked()
+	n.markResDirtyLocked(&l.fwd.res)
+	n.markResDirtyLocked(&l.rev.res)
 	n.mu.Unlock()
 	for _, c := range victims {
 		c.reset(fmt.Errorf("simnet: connection reset: link %s failed", l.Name))
@@ -374,7 +400,8 @@ func (l *Link) SetCapacityFactor(f float64) {
 	defer n.mu.Unlock()
 	l.fwd.factor = f
 	l.rev.factor = f
-	n.recomputeLocked()
+	n.markResDirtyLocked(&l.fwd.res)
+	n.markResDirtyLocked(&l.rev.res)
 }
 
 // SetLossRate changes the link's random packet-loss probability.
@@ -392,16 +419,13 @@ func (l *Link) Utilization() float64 {
 	n := l.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.flushLocked()
 	var fwd, rev float64
-	for f := range n.flows {
-		for _, s := range f.path {
-			if s == l.fwd {
-				fwd += f.rate
-			}
-			if s == l.rev {
-				rev += f.rate
-			}
-		}
+	for _, e := range l.fwd.flows {
+		fwd += e.f.rate
+	}
+	for _, e := range l.rev.flows {
+		rev += e.f.rate
 	}
 	u := math.Max(fwd, rev)
 	if c := l.fwd.effective(); c > 0 {
@@ -433,9 +457,32 @@ func (n *Net) EstimateBandwidth(a, b string) (float64, error) {
 	if hb != nil {
 		probe.dst = hb
 	}
-	fs := append(append([]*flow(nil), n.activeFlowsLocked()...), probe)
-	rates := n.allocate(fs)
-	return rates[len(fs)-1], nil
+	// The probe only contends with flows in its own component: gather it
+	// with the same epoch-stamped BFS the incremental allocator uses,
+	// instead of allocating over every active flow in the network.
+	n.flushLocked()
+	n.epoch++
+	comp := n.scrComp[:0]
+	probe.epoch = n.epoch
+	comp = append(comp, probe)
+	for i := 0; i < len(comp); i++ {
+		for _, rr := range comp[i].refs() {
+			r := rr.r
+			if r.epoch == n.epoch {
+				continue
+			}
+			r.epoch = n.epoch
+			for _, e := range r.flows {
+				if e.f.epoch != n.epoch {
+					e.f.epoch = n.epoch
+					comp = append(comp, e.f)
+				}
+			}
+		}
+	}
+	n.scrComp = comp
+	rates := n.allocate(comp)
+	return rates[0], nil
 }
 
 // newResIDLocked hands out dense resource indices.
@@ -461,9 +508,19 @@ func (n *Net) activeFlowsLocked() []*flow {
 // allocate computes the weighted max-min fair rate (bits/s) for each flow
 // by progressive filling, honouring per-flow window caps, link capacities,
 // and host CPU/disk budgets. It does not mutate the flows; rates[i]
-// corresponds to fs[i].
+// corresponds to fs[i]. The returned slice is scratch owned by the Net
+// and is only valid until the next allocate call.
 func (n *Net) allocate(fs []*flow) []float64 {
-	rates := make([]float64, len(fs))
+	if cap(n.scrRates) < len(fs) {
+		n.scrRates = make([]float64, len(fs))
+		n.scrFrozen = make([]bool, len(fs))
+	}
+	rates := n.scrRates[:len(fs)]
+	frozen := n.scrFrozen[:len(fs)]
+	for i := range rates {
+		rates[i] = 0
+		frozen[i] = false
+	}
 	if len(fs) == 0 {
 		return rates
 	}
@@ -474,7 +531,6 @@ func (n *Net) allocate(fs []*flow) []float64 {
 	residual := n.scrResidual
 	wsum := n.scrWsum
 	touched := n.scrTouched[:0]
-	frozen := make([]bool, len(fs))
 	remaining := 0
 	for i, f := range fs {
 		refs := f.refs()
@@ -576,9 +632,16 @@ func (n *Net) allocate(fs []*flow) []float64 {
 // loopbackBps is the stand-in rate for unconstrained (same-host) traffic.
 const loopbackBps = 40e9
 
-// recomputeLocked folds elapsed time into every flow's counters at the
-// current instant, recomputes the fair allocation, and reschedules
-// completion events for flows whose rate changed.
+// recomputeLocked is the reference full recomputation: it folds elapsed
+// time into every flow's counters at the current instant, re-runs the
+// fair allocation over all active flows, and reschedules completion
+// events for flows whose rate changed.
+//
+// Production event paths no longer call this — they mark dirty state and
+// let the coalesced, component-scoped flush (alloc.go) re-allocate just
+// the flows an event can influence. This full path is kept as the
+// reference implementation that differential tests (and the
+// SetVerifyAllocations cross-check) compare the incremental path against.
 func (n *Net) recomputeLocked() {
 	now := n.clk.Now().Sub(vtime.Epoch)
 	fs := n.activeFlowsLocked()
@@ -597,20 +660,44 @@ func (n *Net) recomputeLocked() {
 func (n *Net) TotalBytesBetween(a, b string) float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.flushLocked()
 	now := n.clk.Now().Sub(vtime.Epoch)
 	var total float64
-	for f := range n.flows {
-		if f.src != nil && f.dst != nil && f.src.name == a && f.dst.name == b {
-			total += f.transmittedAt(now)
-		}
+	for _, f := range n.pairFlows[pairKey{a, b}] {
+		total += f.transmittedAt(now)
 	}
-	for _, h := range n.hosts {
-		if h.name != a {
-			continue
-		}
+	if h := n.hosts[a]; h != nil {
 		total += h.retiredBytesTo[b]
 	}
 	return total
+}
+
+// registerFlowLocked enters a newly created flow into the live-flow set
+// and the (src,dst) pair index that TotalBytesBetween polls.
+func (n *Net) registerFlowLocked(f *flow) {
+	n.flows[f] = struct{}{}
+	if f.src != nil && f.dst != nil {
+		k := pairKey{f.src.name, f.dst.name}
+		f.pairPos = len(n.pairFlows[k])
+		n.pairFlows[k] = append(n.pairFlows[k], f)
+	}
+}
+
+// unregisterFlowLocked removes a retired flow from the pair index via
+// swap-remove, keeping iteration order deterministic.
+func (n *Net) unregisterFlowLocked(f *flow) {
+	delete(n.flows, f)
+	if f.src == nil || f.dst == nil {
+		return
+	}
+	k := pairKey{f.src.name, f.dst.name}
+	fs := n.pairFlows[k]
+	last := len(fs) - 1
+	moved := fs[last]
+	fs[f.pairPos] = moved
+	moved.pairPos = f.pairPos
+	fs[last] = nil
+	n.pairFlows[k] = fs[:last]
 }
 
 // LinkBetween returns the link directly joining nodes a and b (in either
