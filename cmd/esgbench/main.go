@@ -26,9 +26,10 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, demo)")
+	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, lifeline, demo)")
 	full := flag.Bool("full", false, "paper-scale durations (1h Table 1, 14h Figure 8)")
 	seed := flag.Int64("seed", 2000, "simulation seed")
+	flag.StringVar(&traceFile, "trace", "", "write the lifeline experiment's event stream to this file (.jsonl for JSONL, anything else for ULM)")
 	flag.Parse()
 
 	runners := map[string]func(int64, bool) error{
@@ -46,10 +47,11 @@ func main() {
 		"nws":        runNWS,
 		"subset":     runSubsetExp,
 		"scale":      runScale,
+		"lifeline":   runLifeline,
 		"demo":       runDemo,
 	}
 	order := []string{"table1", "figure8", "chancache", "parallel", "buffers", "stripes",
-		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "demo"}
+		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "demo"}
 
 	var selected []string
 	if *expFlag == "all" {
@@ -290,6 +292,43 @@ func runScale(seed int64, full bool) error {
 		return err
 	}
 	fmt.Print(experiments.Table(fmt.Sprintf("measured (%d MB per client, 8 clients/site):", mb), r.Rows()))
+	return nil
+}
+
+// traceFile receives the lifeline run's event stream (-trace flag);
+// a .jsonl suffix selects JSONL, anything else ULM.
+var traceFile string
+
+func runLifeline(seed int64, full bool) error {
+	cfg := experiments.DefaultLifelineConfig()
+	cfg.Seed = seed
+	if full {
+		cfg.Files = 8
+		cfg.FileMB = 256
+	}
+	header(fmt.Sprintf("S12 — NetLogger life-lines: %d x %d MB request, stage attribution", cfg.Files, cfg.FileMB),
+		"life-lines expose an ~0.8 s TCP teardown + session setup pause between files (Figure 8)")
+	r, err := experiments.RunLifeline(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Table("measured:", r.Rows()))
+	fmt.Println("\nlife-line (gantt over virtual time):")
+	fmt.Println(r.Gantt)
+	fmt.Println("stage attribution:")
+	fmt.Println(r.Stages)
+	fmt.Println("metrics registry:")
+	fmt.Println(r.Metrics)
+	if traceFile != "" {
+		out := r.ULM
+		if strings.HasSuffix(traceFile, ".jsonl") {
+			out = r.JSONL
+		}
+		if err := os.WriteFile(traceFile, []byte(out), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", r.Events, traceFile)
+	}
 	return nil
 }
 

@@ -8,7 +8,7 @@
 //	esgcp [flags] 3pt  srcHost:port srcPath dstHost:port dstPath
 //
 // Flags: -P parallel streams, -sbuf socket buffer bytes, -cache keep data
-// channels across transfers, -cred/-trust GSI files.
+// channels across transfers, -cred/-trust GSI files, -trace life-line file.
 package main
 
 import (
@@ -17,10 +17,12 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"esgrid/internal/gridftp"
 	"esgrid/internal/gsi"
+	"esgrid/internal/netlogger"
 	"esgrid/internal/transport"
 	"esgrid/internal/vtime"
 )
@@ -31,6 +33,7 @@ func main() {
 	cache := flag.Bool("cache", false, "cache data channels across transfers")
 	credPath := flag.String("cred", "", "identity file for GSI authentication")
 	trustPath := flag.String("trust", "", "trust anchor file")
+	tracePath := flag.String("trace", "", "write a NetLogger life-line of the session to this file (.jsonl for JSONL, anything else for ULM)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 3 {
@@ -49,6 +52,16 @@ func main() {
 		}
 		auth = &gsi.Config{Identity: id, Trust: trust}
 	}
+	var (
+		nlog *netlogger.Log
+		root *netlogger.Span
+	)
+	if *tracePath != "" {
+		host, _ := os.Hostname()
+		nlog = netlogger.NewLog(vtime.Real{})
+		tracer := netlogger.NewTracer(vtime.Real{}, nlog)
+		root = tracer.StartTrace("esgcp."+args[0], host)
+	}
 	dial := func(addr string) *gridftp.Client {
 		c, err := gridftp.Dial(gridftp.ClientConfig{
 			Clock:             vtime.Real{},
@@ -57,6 +70,7 @@ func main() {
 			Parallelism:       *parallel,
 			BufferBytes:       *sbuf,
 			CacheDataChannels: *cache,
+			Span:              root,
 		}, addr)
 		if err != nil {
 			log.Fatalf("esgcp: connect %s: %v", addr, err)
@@ -64,6 +78,24 @@ func main() {
 		return c
 	}
 
+	run(args, dial)
+
+	if *tracePath != "" {
+		root.Finish()
+		out := nlog.ULM()
+		if strings.HasSuffix(*tracePath, ".jsonl") {
+			out = nlog.JSONL()
+		}
+		if err := os.WriteFile(*tracePath, []byte(out), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", len(nlog.Events()), *tracePath)
+	}
+}
+
+// run executes the requested operation; client Close (and its teardown
+// spans) happens via defer before the caller exports the trace.
+func run(args []string, dial func(string) *gridftp.Client) {
 	switch args[0] {
 	case "size":
 		c := dial(args[1])

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLifelineCoverageAndGaps(t *testing.T) {
+	cfg := DefaultLifelineConfig()
+	cfg.Files = 3
+	cfg.FileMB = 16
+	res, err := RunLifeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage < 0.99 {
+		t.Errorf("stage attribution coverage %.4f, want >= 0.99\n%s", res.Coverage, res.Stages)
+	}
+	if got := len(res.Analysis.Gaps); got != cfg.Files-1 {
+		t.Errorf("inter-file gaps = %d, want %d", got, cfg.Files-1)
+	}
+	for i, g := range res.Analysis.Gaps {
+		if g.Dur <= 0 {
+			t.Errorf("gap %d not positive: %v", i, g.Dur)
+		}
+	}
+	if res.MeanGap <= 0 {
+		t.Errorf("mean gap %v, want > 0", res.MeanGap)
+	}
+	for _, want := range []string{"rm.request", "gridftp.session", "[data]", "[teardown]"} {
+		if !strings.Contains(res.Gantt, want) {
+			t.Errorf("gantt missing %q:\n%s", want, res.Gantt)
+		}
+	}
+	for _, want := range []string{"gridftp.control.rtts", "simnet.flows.active"} {
+		if !strings.Contains(res.Metrics, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, res.Metrics)
+		}
+	}
+	if res.Events == 0 || res.Spans == 0 {
+		t.Errorf("events=%d spans=%d, want both > 0", res.Events, res.Spans)
+	}
+}
+
+// Same seed, same config: the full ULM and JSONL exports must be
+// byte-identical across runs.
+func TestLifelineDeterministic(t *testing.T) {
+	cfg := DefaultLifelineConfig()
+	cfg.Files = 2
+	cfg.FileMB = 8
+	a, err := RunLifeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLifeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ULM != b.ULM {
+		t.Error("ULM export differs between identical runs")
+	}
+	if a.JSONL != b.JSONL {
+		t.Error("JSONL export differs between identical runs")
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}

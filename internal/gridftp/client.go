@@ -10,9 +10,16 @@ import (
 	"time"
 
 	"esgrid/internal/gsi"
+	"esgrid/internal/netlogger"
 	"esgrid/internal/transport"
 	"esgrid/internal/vtime"
 )
+
+// controlRTTBuckets are the histogram bounds (seconds) for control-channel
+// command round-trip times.
+var controlRTTBuckets = []float64{
+	0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1, 2,
+}
 
 // ClientConfig configures a GridFTP client connection.
 type ClientConfig struct {
@@ -35,6 +42,12 @@ type ClientConfig struct {
 	Striped bool
 	// DiskBound marks the client side of data connections disk-bound.
 	DiskBound bool
+	// Span, when non-nil, is the parent life-line span: the session opens
+	// a control-stage child under it, propagates its context to the server
+	// with TRID, and tags auth, data, and teardown sub-spans.
+	Span *netlogger.Span
+	// Metrics, when non-nil, receives the gridftp.control.rtts histogram.
+	Metrics *netlogger.Registry
 }
 
 // TransferStats summarizes one completed transfer.
@@ -55,10 +68,12 @@ func (t TransferStats) Bps() float64 {
 
 // Client is one GridFTP control session plus its data channels.
 type Client struct {
-	cfg  ClientConfig
-	addr string
-	ct   *ctrl
-	peer *gsi.Peer
+	cfg     ClientConfig
+	addr    string
+	ct      *ctrl
+	peer    *gsi.Peer
+	session *netlogger.Span // control-stage span covering the session
+	rtts    *netlogger.Histogram
 
 	mu    sync.Mutex
 	pools map[string][]transport.Conn // data conns per node address
@@ -72,29 +87,59 @@ func Dial(cfg ClientConfig, addr string) (*Client, error) {
 	if cfg.Parallelism < 1 {
 		cfg.Parallelism = 1
 	}
+	session := cfg.Span.Child(netlogger.StageControl, "gridftp.session", "server", addr)
+	fail := func(conn transport.Conn, err error) (*Client, error) {
+		if conn != nil {
+			conn.Close()
+		}
+		session.Annotate("err", err.Error())
+		session.Finish()
+		return nil, err
+	}
 	conn, err := cfg.Net.Dial(addr)
 	if err != nil {
-		return nil, err
+		return fail(nil, err)
 	}
-	c := &Client{cfg: cfg, addr: addr, ct: newCtrl(conn), pools: map[string][]transport.Conn{}}
+	labelConn(conn, session)
+	c := &Client{
+		cfg: cfg, addr: addr, ct: newCtrl(conn), session: session,
+		rtts:  cfg.Metrics.Histogram("gridftp.control.rtts", controlRTTBuckets),
+		pools: map[string][]transport.Conn{},
+	}
 	r, err := c.ct.readResponse()
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return fail(conn, err)
 	}
 	if r.Code != codeReady {
-		conn.Close()
-		return nil, r.err()
+		return fail(conn, r.err())
 	}
+	auth := session.Child(netlogger.StageAuth, "gridftp.auth")
 	if err := c.authenticate(conn); err != nil {
-		conn.Close()
-		return nil, err
+		auth.Annotate("err", err.Error())
+		auth.Finish()
+		return fail(conn, err)
 	}
+	auth.Finish()
 	if err := c.configureSession(); err != nil {
-		conn.Close()
-		return nil, err
+		return fail(conn, err)
+	}
+	if trid := session.Context(); trid != "" {
+		if _, err := c.simple("TRID " + trid); err != nil {
+			return fail(conn, err)
+		}
 	}
 	return c, nil
+}
+
+// labelConn tags a transport connection with the span context when the
+// transport supports labelling (simnet does, via transport.Labeler).
+func labelConn(conn transport.Conn, sp *netlogger.Span) {
+	if sp == nil {
+		return
+	}
+	if t, ok := conn.(transport.Labeler); ok {
+		t.SetLabel(sp.Context())
+	}
 }
 
 func (c *Client) authenticate(conn transport.Conn) error {
@@ -149,8 +194,10 @@ func (c *Client) configureSession() error {
 	return nil
 }
 
-// simple sends a command and expects a 2xx/3xx single response.
+// simple sends a command and expects a 2xx/3xx single response. Each
+// exchange's round-trip time feeds the gridftp.control.rtts histogram.
 func (c *Client) simple(cmd string) (*response, error) {
+	start := c.cfg.Clock.Now()
 	if err := c.ct.sendLine(cmd); err != nil {
 		return nil, err
 	}
@@ -158,6 +205,7 @@ func (c *Client) simple(cmd string) (*response, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.rtts.Observe(c.cfg.Clock.Now().Sub(start).Seconds())
 	if r.Code >= 400 {
 		return r, r.err()
 	}
@@ -169,9 +217,13 @@ func (c *Client) Peer() *gsi.Peer { return c.peer }
 
 // Close quits the session and closes all channels.
 func (c *Client) Close() error {
+	td := c.session.Child(netlogger.StageTeardown, "gridftp.teardown")
 	c.ct.sendLine("QUIT")
 	c.closeDataConns()
-	return c.ct.conn.Close()
+	err := c.ct.conn.Close()
+	td.Finish()
+	c.session.Finish()
+	return err
 }
 
 func (c *Client) closeDataConns() {
@@ -259,6 +311,7 @@ func (c *Client) dataConns(addr string, p int) ([]transport.Conn, error) {
 				t.SetDiskBound(true)
 			}
 		}
+		labelConn(dc, c.session)
 		conns = append(conns, dc)
 	}
 	c.pools[addr] = conns
@@ -312,6 +365,7 @@ func (c *Client) get(path string, sink Sink, ranges []Extent) (TransferStats, er
 	if r.Code != codeOpenData {
 		return TransferStats{}, r.err()
 	}
+	data := c.session.Child(netlogger.StageData, "gridftp.get", "path", path)
 	var total int64
 	var mu sync.Mutex
 	var firstErr error
@@ -338,6 +392,12 @@ func (c *Client) get(path string, sink Sink, ranges []Extent) (TransferStats, er
 		}
 	}
 	wg.Wait()
+	data.Annotate("bytes", strconv.FormatInt(total, 10),
+		"streams", strconv.Itoa(c.cfg.Parallelism*len(addrs)))
+	if firstErr != nil {
+		data.Annotate("err", firstErr.Error())
+	}
+	data.Finish()
 	if firstErr != nil {
 		c.dropDataConns(addrs)
 		// Drain the control reply if the server managed to send one, so

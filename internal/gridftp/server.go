@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"esgrid/internal/gsi"
+	"esgrid/internal/netlogger"
 	"esgrid/internal/transport"
 	"esgrid/internal/vtime"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	// DiskBound marks data connections as staged through this host's
 	// disk, engaging the simulator's disk-rate cap (Figure 8).
 	DiskBound bool
+	// Log, when non-nil, receives server-side life-line events
+	// (gridftp.retr.start/end, gridftp.stor.start/end) tagged with the
+	// trace context the client propagated via TRID.
+	Log *netlogger.Log
 }
 
 // Server is a GridFTP server instance.
@@ -111,6 +116,7 @@ type session struct {
 	mode        byte
 	restRanges  []Extent
 	allocSize   int64
+	trid        string // life-line trace context from TRID
 
 	nodes []*nodeState
 }
@@ -159,7 +165,7 @@ func (s *Server) handle(conn transport.Conn) {
 		case "FEAT":
 			cerr = ct.replyMulti(codeFeat, "Extensions supported:", []string{
 				"AUTH GSI", "SIZE", "SBUF", "MODE E", "PASV", "SPAS", "PORT",
-				"ERET", "ESUB", "XSUB", "REST STREAM", "ALLO", "PARALLELISM", "CHANNEL-CACHING", "SIZE64",
+				"ERET", "ESUB", "XSUB", "REST STREAM", "ALLO", "PARALLELISM", "CHANNEL-CACHING", "SIZE64", "TRID",
 			}, "END")
 		case "NOOP":
 			cerr = ct.reply(codeCmdOK, "ok")
@@ -169,6 +175,9 @@ func (s *Server) handle(conn transport.Conn) {
 			cerr = sess.cmdMode(arg)
 		case "SBUF":
 			cerr = sess.cmdSbuf(arg)
+		case "TRID":
+			sess.trid = arg
+			cerr = ct.reply(codeCmdOK, "trace context noted")
 		case "OPTS":
 			cerr = sess.cmdOpts(arg)
 		case "SIZE":
@@ -472,11 +481,27 @@ func (sess *session) cmdRetr(path string, ranges []Extent) error {
 	if err := sess.ct.reply(codeOpenData, "opening data connection(s)"); err != nil {
 		return err
 	}
+	sess.emit("gridftp.retr.start", "path", path)
 	if err := sess.runSend(src, ranges); err != nil {
+		sess.emit("gridftp.retr.end", "path", path, "err", err.Error())
 		return sess.ct.reply(codeXferFailed, "transfer failed: %v", err)
 	}
+	sess.emit("gridftp.retr.end", "path", path)
 	sess.afterTransfer()
 	return sess.ct.reply(codeTransferOK, "transfer complete")
+}
+
+// emit records a server-side life-line event tagged with the session's
+// propagated trace context.
+func (sess *session) emit(name string, kv ...string) {
+	log := sess.srv.cfg.Log
+	if log == nil {
+		return
+	}
+	if sess.trid != "" {
+		kv = append(kv, "trid", sess.trid)
+	}
+	log.Emit(sess.srv.cfg.Host, name, kv...)
 }
 
 func (sess *session) cmdEret(arg string) error {
@@ -562,9 +587,12 @@ func (sess *session) cmdStor(path string) error {
 	if err := sess.ct.reply(codeOpenData, "opening data connection(s)"); err != nil {
 		return err
 	}
+	sess.emit("gridftp.stor.start", "path", path)
 	if err := sess.runReceive(sink); err != nil {
+		sess.emit("gridftp.stor.end", "path", path, "err", err.Error())
 		return sess.ct.reply(codeXferFailed, "transfer failed: %v", err)
 	}
+	sess.emit("gridftp.stor.end", "path", path)
 	if err := sink.Complete(); err != nil {
 		return sess.ct.reply(codeXferFailed, "%v", err)
 	}

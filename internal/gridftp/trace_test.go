@@ -1,0 +1,111 @@
+package gridftp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"esgrid/internal/netlogger"
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+// TestTridPropagation checks that the client's trace context crosses the
+// control channel (TRID command) and shows up on server-side transfer
+// events, that simnet's flow gauge and retired-connection events carry
+// the session label, and that control RTTs land in the histogram.
+func TestTridPropagation(t *testing.T) {
+	clk := vtime.NewSim(3)
+	n := simnet.New(clk)
+	nlog := netlogger.NewLog(clk)
+	metrics := netlogger.NewRegistry(clk)
+	n.Instrument(nlog, metrics)
+	src := n.AddHost("src", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	dst := n.AddHost("dst", simnet.HostConfig{DefaultBufferBytes: 1 << 20})
+	n.AddNode("wan")
+	n.AddLink("src", "wan", simnet.LinkConfig{CapacityBps: 100 * mbps, Delay: 5 * time.Millisecond})
+	n.AddLink("wan", "dst", simnet.LinkConfig{CapacityBps: 100 * mbps, Delay: 5 * time.Millisecond})
+	store := NewVirtualStore()
+	store.Put("a.nc", 8*mb)
+
+	clk.Run(func() {
+		srv, err := NewServer(Config{Clock: clk, Net: src, Host: "src", Store: store, Log: nlog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := src.Listen(":2811")
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.Go(func() { srv.Serve(l) })
+
+		tracer := netlogger.NewTracer(clk, nlog)
+		root := tracer.StartTrace("cp", "dst")
+		c, err := Dial(ClientConfig{
+			Clock: clk, Net: dst, Parallelism: 2, BufferBytes: 1 << 20,
+			Span: root, Metrics: metrics,
+		}, "src:2811")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := NewVirtualSink(8 * mb)
+		if _, err := c.Get("a.nc", sink); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		root.Finish()
+		clk.Sleep(10 * time.Second) // let closed conns pass TCP linger
+
+		// The server's retr events carry the client session's context.
+		var sessionCtx string
+		for _, s := range tracer.Snapshot() {
+			if s.Name == "gridftp.session" {
+				sessionCtx = fmt.Sprintf("%d.%d", s.TraceID, s.ID)
+			}
+		}
+		if sessionCtx == "" {
+			t.Fatal("no gridftp.session span recorded")
+		}
+		starts := nlog.Named("gridftp.retr.start")
+		if len(starts) != 1 {
+			t.Fatalf("got %d retr.start events", len(starts))
+		}
+		if got := starts[0].Fields["trid"]; got != sessionCtx {
+			t.Errorf("server trid = %q, want client session context %q", got, sessionCtx)
+		}
+		if starts[0].Host != "src" {
+			t.Errorf("retr event host = %q, want src", starts[0].Host)
+		}
+
+		// Control RTTs were observed (greeting is pre-session; FEAT, TRID,
+		// SIZE-free get path still exchanges several commands).
+		if metrics.Histogram("gridftp.control.rtts", nil).Count() == 0 {
+			t.Error("no control RTTs recorded")
+		}
+
+		// Flow gauge drained back to zero after the transfer, having
+		// peaked at >= parallelism.
+		g := metrics.Gauge("simnet.flows.active")
+		if g.Value() != 0 {
+			t.Errorf("flows.active = %g after close, want 0", g.Value())
+		}
+		if g.Max() < 2 {
+			t.Errorf("flows.active max = %g, want >= 2", g.Max())
+		}
+	})
+	// Retired connections are labelled with the owning session context.
+	retired := nlog.Named("simnet.conn.retired")
+	if len(retired) == 0 {
+		t.Fatal("no conn.retired events")
+	}
+	labelled := 0
+	for _, ev := range retired {
+		if strings.Contains(ev.Fields["label"], ".") {
+			labelled++
+		}
+	}
+	if labelled == 0 {
+		t.Errorf("no retired conn carries a span label: %+v", retired)
+	}
+}

@@ -1,0 +1,312 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms
+// sampled in virtual time. Components register instruments lazily by
+// name (gridftp.control.rtts, rm.retries, simnet.flows.active,
+// hrm.stage.wait, ...) and the registry renders a deterministic snapshot
+// table for experiment reports.
+//
+// Like the tracer, a nil *Registry hands out nil instruments whose
+// methods no-op, so instrumentation never needs guarding.
+package netlogger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"esgrid/internal/vtime"
+)
+
+// Registry owns named instruments. Instruments are created on first use
+// and shared by name thereafter.
+type Registry struct {
+	clk vtime.Clock
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry on clk.
+func NewRegistry(clk vtime.Clock) *Registry {
+	return &Registry{
+		clk:      clk,
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by d.
+func (c *Counter) Add(d float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value reads the counter (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is an instantaneous level that also tracks its high-water mark.
+type Gauge struct {
+	mu  sync.Mutex
+	v   float64
+	max float64
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by d (use negative d to decrement).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += d
+	if g.v > g.max {
+		g.max = g.v
+	}
+	g.mu.Unlock()
+}
+
+// Value reads the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Max reads the high-water mark.
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// Histogram counts observations into fixed buckets with the given upper
+// bounds (ascending); values above the last bound land in an overflow
+// bucket.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1, last is overflow
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Histogram returns (creating if needed) the named histogram. The bucket
+// bounds are fixed by the first caller; later callers share the existing
+// instrument regardless of the bounds they pass.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (q in [0,1]); values in the overflow bucket
+// report the observed max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.n-1))
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// MetricSnapshot is one row of a registry snapshot.
+type MetricSnapshot struct {
+	Name  string
+	Kind  string // "counter", "gauge", "histogram"
+	Value string // rendered value
+}
+
+// Snapshot returns all instruments sorted by (kind-independent) name.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var rows []MetricSnapshot
+	for name, c := range r.counters {
+		rows = append(rows, MetricSnapshot{name, "counter",
+			fmt.Sprintf("%g", c.Value())})
+	}
+	for name, g := range r.gauges {
+		rows = append(rows, MetricSnapshot{name, "gauge",
+			fmt.Sprintf("%g (max %g)", g.Value(), g.Max())})
+	}
+	for name, h := range r.hists {
+		rows = append(rows, MetricSnapshot{name, "histogram",
+			fmt.Sprintf("n=%d mean=%.6g p50<=%.6g p99<=%.6g max=%.6g",
+				h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), func() float64 {
+					h.mu.Lock()
+					defer h.mu.Unlock()
+					return h.max
+				}())})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// Render formats the snapshot as an aligned table.
+func (r *Registry) Render() string {
+	rows := r.Snapshot()
+	if len(rows) == 0 {
+		return "(no metrics)\n"
+	}
+	nameW, kindW := len("metric"), len("type")
+	for _, row := range rows {
+		if len(row.Name) > nameW {
+			nameW = len(row.Name)
+		}
+		if len(row.Kind) > kindW {
+			kindW = len(row.Kind)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %-*s  %s\n", nameW, "metric", kindW, "type", "value")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s\n", nameW, row.Name, kindW, row.Kind, row.Value)
+	}
+	return b.String()
+}

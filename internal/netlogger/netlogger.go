@@ -13,6 +13,7 @@ package netlogger
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -40,13 +41,18 @@ type Log struct {
 // NewLog returns an empty log stamping events with clk.
 func NewLog(clk vtime.Clock) *Log { return &Log{clk: clk} }
 
-// Emit appends an event. kv is alternating key, value pairs.
+// Emit appends an event. kv is alternating key, value pairs; a trailing
+// key with no value is recorded with an empty value.
 func (l *Log) Emit(host, name string, kv ...string) {
 	ev := Event{Time: l.clk.Now(), Host: host, Name: name}
 	if len(kv) > 0 {
-		ev.Fields = make(map[string]string, len(kv)/2)
-		for i := 0; i+1 < len(kv); i += 2 {
-			ev.Fields[kv[i]] = kv[i+1]
+		ev.Fields = make(map[string]string, (len(kv)+1)/2)
+		for i := 0; i < len(kv); i += 2 {
+			if i+1 < len(kv) {
+				ev.Fields[kv[i]] = kv[i+1]
+			} else {
+				ev.Fields[kv[i]] = ""
+			}
 		}
 	}
 	l.mu.Lock()
@@ -189,7 +195,9 @@ func (m *Meter) AverageRate() float64 {
 }
 
 // RateSeries returns the per-bucket average rate series, with buckets of
-// the given duration (whole multiples of the sampling interval).
+// the given duration (whole multiples of the sampling interval). A
+// trailing partial bucket is emitted with its rate scaled to the span it
+// actually covers, so the tail of the metered window is not dropped.
 func (m *Meter) RateSeries(bucket time.Duration) Series {
 	s := m.snapshot()
 	k := int(bucket / m.interval)
@@ -198,10 +206,19 @@ func (m *Meter) RateSeries(bucket time.Duration) Series {
 	}
 	span := (time.Duration(k) * m.interval).Seconds()
 	var out Series
-	for i := 0; i+k < len(s); i += k {
+	i := 0
+	for ; i+k < len(s); i += k {
 		out = append(out, Point{
 			T: m.t0.Add(time.Duration(i+k) * m.interval),
 			V: (s[i+k] - s[i]) / span,
+		})
+	}
+	if rem := len(s) - 1 - i; rem > 0 {
+		// Partial bucket: rem < k sampling intervals remain.
+		partial := (time.Duration(rem) * m.interval).Seconds()
+		out = append(out, Point{
+			T: m.t0.Add(time.Duration(i+rem) * m.interval),
+			V: (s[len(s)-1] - s[i]) / partial,
 		})
 	}
 	return out
@@ -239,7 +256,7 @@ func Summarize(vs []float64) Stats {
 			st.MAE += d
 		}
 	}
-	st.StdDev = sqrt(st.StdDev / float64(st.N))
+	st.StdDev = math.Sqrt(st.StdDev / float64(st.N))
 	st.MAE /= float64(st.N)
 	pct := func(p float64) float64 {
 		i := int(p * float64(len(sorted)-1))
@@ -247,17 +264,6 @@ func Summarize(vs []float64) Stats {
 	}
 	st.P50, st.P90, st.P99 = pct(0.50), pct(0.90), pct(0.99)
 	return st
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 40; i++ {
-		z = (z + x/z) / 2
-	}
-	return z
 }
 
 // CSV renders a series as "seconds,value" lines (seconds relative to the

@@ -103,6 +103,13 @@ type Config struct {
 	Auth *gsi.Config
 	// Log receives transfer events (optional).
 	Log *netlogger.Log
+	// Tracer, when non-nil, mints a life-line trace per Submit: a span
+	// tree covering queueing, replica selection, staging, the GridFTP
+	// session (auth/control/data/teardown), and retries.
+	Tracer *netlogger.Tracer
+	// Metrics, when non-nil, receives rm.retries and is handed to GridFTP
+	// clients for control-channel histograms.
+	Metrics *netlogger.Registry
 	// Policy is the replica selection policy.
 	Policy Policy
 	// Parallelism, BufferBytes, CacheDataChannels configure transfers.
@@ -141,10 +148,16 @@ type Manager struct {
 
 // clockSem is a counting semaphore whose blocking is visible to the
 // virtual-time scheduler (a plain channel would stall the clock).
+// Admission is FIFO by ticket: tickets are handed out under the Manager's
+// submit path, so the order files enter transfer never depends on which
+// waiting goroutine the runtime happens to wake first — a requirement for
+// byte-identical life-line traces across equal-seed runs.
 type clockSem struct {
 	mu   sync.Mutex
 	cond vtime.Cond
 	free int
+	head int // next ticket to admit
+	tail int // next ticket to hand out
 }
 
 func newClockSem(clk vtime.Clock, n int) *clockSem {
@@ -153,19 +166,29 @@ func newClockSem(clk vtime.Clock, n int) *clockSem {
 	return s
 }
 
-func (s *clockSem) acquire() {
+func (s *clockSem) ticket() int {
 	s.mu.Lock()
-	for s.free == 0 {
+	defer s.mu.Unlock()
+	t := s.tail
+	s.tail++
+	return t
+}
+
+func (s *clockSem) acquire(ticket int) {
+	s.mu.Lock()
+	for s.free == 0 || ticket != s.head {
 		s.cond.Wait()
 	}
 	s.free--
+	s.head++
+	s.cond.Broadcast() // the next ticket may also be admittable
 	s.mu.Unlock()
 }
 
 func (s *clockSem) release() {
 	s.mu.Lock()
 	s.free++
-	s.cond.Signal()
+	s.cond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -223,14 +246,21 @@ type Request struct {
 	files []*fileState
 	done  vtime.Cond
 	open  int
-	log   []string // monitor messages (Figure 4's bottom pane)
+	log   []string        // monitor messages (Figure 4's bottom pane)
+	span  *netlogger.Span // life-line root (nil when untraced)
 }
+
+// Span returns the request's life-line root span (nil when untraced).
+func (r *Request) Span() *netlogger.Span { return r.span }
 
 type fileState struct {
 	FileStatus
 	sink   gridftp.Sink
 	client *gridftp.Client // live transfer's control session, for aborts
 	abort  bool
+	span   *netlogger.Span // per-file life-line span (nil when untraced)
+	qspan  *netlogger.Span // queue-wait span, minted at Submit
+	ticket int             // FIFO admission order under MaxConcurrent
 }
 
 // Submit starts working on a request and returns its handle.
@@ -244,8 +274,18 @@ func (m *Manager) Submit(user, collection string, files []FileRequest) (*Request
 	req.done = m.cfg.Clock.NewCond(&req.mu)
 	m.reqs[req.ID] = req
 	m.mu.Unlock()
+	req.span = m.cfg.Tracer.StartTrace("rm.request", m.cfg.LocalHost,
+		"user", user, "collection", collection, "files", fmt.Sprint(len(files)))
 	for _, f := range files {
 		fs := &fileState{FileStatus: FileStatus{Name: f.Name, Size: f.Size, State: StateQueued}}
+		fs.span = req.span.Child("", "rm.file", "file", f.Name)
+		if m.sem != nil {
+			// Ticket and queue span are minted here, in file order, so
+			// admission sequence and span ids never depend on goroutine
+			// scheduling.
+			fs.ticket = m.sem.ticket()
+			fs.qspan = fs.span.Child(netlogger.StageQueue, "rm.queue")
+		}
 		req.files = append(req.files, fs)
 	}
 	for _, fs := range req.files {
@@ -374,11 +414,16 @@ func (m *Manager) runFile(req *Request, fs *fileState) {
 	defer func() {
 		req.mu.Lock()
 		req.open--
+		last := req.open == 0
 		req.done.Broadcast()
 		req.mu.Unlock()
+		if last {
+			req.span.Finish()
+		}
 	}()
 	if m.sem != nil {
-		m.sem.acquire()
+		m.sem.acquire(fs.ticket)
+		fs.qspan.Finish()
 		defer m.sem.release()
 	}
 	err := m.transferFile(req, fs)
@@ -391,8 +436,12 @@ func (m *Manager) runFile(req *Request, fs *fileState) {
 	}
 	req.mu.Unlock()
 	if err != nil {
+		fs.span.Annotate("state", "failed", "err", err.Error())
 		m.emit(req, "%s: FAILED: %v", fs.Name, err)
+	} else {
+		fs.span.Annotate("state", "done")
 	}
+	fs.span.Finish()
 }
 
 func (m *Manager) transferFile(req *Request, fs *fileState) error {
@@ -402,8 +451,10 @@ func (m *Manager) transferFile(req *Request, fs *fileState) error {
 		req.mu.Unlock()
 	}
 	setState(StateSelecting)
+	sel := fs.span.Child(netlogger.StageSelect, "rm.select")
 	locs, err := m.cfg.Replica.LocationsFor(req.Collection, fs.Name)
 	if err != nil {
+		sel.Finish()
 		return err
 	}
 	// Size: catalog entry, else request hint; servers are asked later.
@@ -413,6 +464,8 @@ func (m *Manager) transferFile(req *Request, fs *fileState) error {
 		}
 	}
 	cands := m.rankReplicas(locs)
+	sel.Annotate("replicas", fmt.Sprint(len(cands)), "best", cands[0].loc.Host)
+	sel.Finish()
 	m.emit(req, "%s: %d replica(s); policy=%s best=%s (%.1f Mb/s forecast)",
 		fs.Name, len(cands), m.cfg.Policy, cands[0].loc.Host, cands[0].forecast/1e6)
 
@@ -421,7 +474,9 @@ func (m *Manager) transferFile(req *Request, fs *fileState) error {
 	for ci := 0; ci < len(cands) && attempt < m.cfg.MaxAttempts; ci++ {
 		cand := cands[ci]
 		if attempt > 0 && m.cfg.RetryBackoff > 0 {
+			rs := fs.span.Child(netlogger.StageRetry, "rm.backoff")
 			m.cfg.Clock.Sleep(m.cfg.RetryBackoff)
+			rs.Finish()
 		}
 		err := m.tryReplica(req, fs, cand, &attempt)
 		if err == nil {
@@ -442,6 +497,12 @@ func (m *Manager) transferFile(req *Request, fs *fileState) error {
 // monitoring and the low-rate abort.
 func (m *Manager) tryReplica(req *Request, fs *fileState, cand candidate, attempt *int) error {
 	*attempt++
+	if *attempt > 1 {
+		m.cfg.Metrics.Counter("rm.retries").Inc()
+	}
+	asp := fs.span.Child("", "rm.attempt",
+		"n", fmt.Sprint(*attempt), "replica", cand.loc.Host)
+	defer asp.Finish()
 	req.mu.Lock()
 	fs.Replica = cand.loc.Host
 	fs.Attempts = *attempt
@@ -451,9 +512,13 @@ func (m *Manager) tryReplica(req *Request, fs *fileState, cand candidate, attemp
 		req.mu.Lock()
 		fs.State = StateStaging
 		req.mu.Unlock()
-		if err := m.stage(cand.loc.Host, fs.Name); err != nil {
+		tape := asp.Child(netlogger.StageTape, "rm.stage", "host", cand.loc.Host)
+		if err := m.stage(cand.loc.Host, fs.Name, tape.Context()); err != nil {
+			tape.Annotate("err", err.Error())
+			tape.Finish()
 			return err
 		}
+		tape.Finish()
 		m.emit(req, "%s: staged from mass storage at %s", fs.Name, cand.loc.Host)
 	}
 
@@ -469,6 +534,8 @@ func (m *Manager) tryReplica(req *Request, fs *fileState, cand candidate, attemp
 		Parallelism:       m.cfg.Parallelism,
 		BufferBytes:       m.cfg.BufferBytes,
 		CacheDataChannels: m.cfg.CacheDataChannels,
+		Span:              asp,
+		Metrics:           m.cfg.Metrics,
 	}, addr)
 	if err != nil {
 		return err
@@ -582,12 +649,17 @@ func (m *Manager) monitor(req *Request, fs *fileState, sink gridftp.Sink, stop <
 	}
 }
 
-// stage calls the HRM RPC service at the replica host.
-func (m *Manager) stage(host, file string) error {
+// stage calls the HRM RPC service at the replica host, propagating the
+// life-line trace context so the HRM's own events correlate.
+func (m *Manager) stage(host, file, trid string) error {
 	cli, err := esgrpc.Dial(m.cfg.Clock, m.cfg.Net, fmt.Sprintf("%s:%d", host, m.cfg.HRMPort), nil)
 	if err != nil {
 		return fmt.Errorf("rm: dial HRM at %s: %w", host, err)
 	}
 	defer cli.Close()
-	return cli.Call("hrm.stage", map[string]string{"file": file}, nil)
+	params := map[string]string{"file": file}
+	if trid != "" {
+		params["trid"] = trid
+	}
+	return cli.Call("hrm.stage", params, nil)
 }

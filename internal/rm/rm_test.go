@@ -1,6 +1,7 @@
 package rm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -391,8 +392,6 @@ func TestRPCFacade(t *testing.T) {
 			}
 			g.clk.Sleep(2 * time.Second)
 		}
-		var nlog *netlogger.Log // unused; silence import if refactored
-		_ = nlog
 	})
 }
 
@@ -462,6 +461,126 @@ func TestMultipleUsersConcurrently(t *testing.T) {
 		}
 		if m.Request(reqs[2].ID) != reqs[2] {
 			t.Fatal("lookup by id broken")
+		}
+	})
+}
+
+func TestRenderMonitor(t *testing.T) {
+	g := buildGrid(t, 11)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		m := g.manager(t, nil)
+		req, err := m.Submit("/CN=drach", "pcm-monthly", []FileRequest{
+			{Name: "pcm.tas.1998-01.nc"}, {Name: "pcm.tas.1998-02.nc"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		out := RenderMonitor(req, 80)
+		if !strings.Contains(out, `collection "pcm-monthly"`) || !strings.Contains(out, "/CN=drach") {
+			t.Errorf("header missing:\n%s", out)
+		}
+		// Completed files show a full progress bar at 100%.
+		barW := 80 - 34
+		if !strings.Contains(out, "["+strings.Repeat("#", barW)+"] 100.0%") {
+			t.Errorf("full progress bar missing:\n%s", out)
+		}
+		if !strings.Contains(out, "TOTAL: 134.2 of 134.2 MB (100.0%)") {
+			t.Errorf("total line missing:\n%s", out)
+		}
+		// Replica pane names the chosen site and final state.
+		if !strings.Contains(out, "replica selections:") ||
+			!strings.Contains(out, "<- fast") || !strings.Contains(out, "done") {
+			t.Errorf("replica pane:\n%s", out)
+		}
+		// The message pane shows at most the last 8 log lines.
+		for i := 0; i < 20; i++ {
+			m.emit(req, "synthetic monitor line %02d", i)
+		}
+		out = RenderMonitor(req, 80)
+		shown := 0
+		for i := 0; i < 20; i++ {
+			if strings.Contains(out, fmt.Sprintf("synthetic monitor line %02d", i)) {
+				shown++
+				if i < 12 {
+					t.Errorf("line %02d should have been truncated", i)
+				}
+			}
+		}
+		if shown != 8 {
+			t.Errorf("message tail shows %d lines, want 8", shown)
+		}
+
+		// Narrow widths clamp to 40 columns.
+		narrow := RenderMonitor(req, 10)
+		if !strings.Contains(narrow, strings.Repeat("=", 40)) {
+			t.Errorf("width clamp missing:\n%s", narrow)
+		}
+	})
+}
+
+// TestRequestTracing checks the life-line span tree minted at Submit and
+// threaded through the transfer layers.
+func TestRequestTracing(t *testing.T) {
+	g := buildGrid(t, 12)
+	g.clk.Run(func() {
+		g.startServers(t)
+		g.startNWS()
+		nlog := netlogger.NewLog(g.clk)
+		tracer := netlogger.NewTracer(g.clk, nlog)
+		metrics := netlogger.NewRegistry(g.clk)
+		m := g.manager(t, func(c *Config) {
+			c.Tracer = tracer
+			c.Metrics = metrics
+			c.Log = nlog
+		})
+		req, err := m.Submit("/CN=drach", "pcm-monthly", []FileRequest{
+			{Name: "pcm.tas.1998-01.nc"}, {Name: "pcm.tas.1998-02.nc"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if req.Span() == nil {
+			t.Fatal("request has no trace span")
+		}
+		spans := tracer.Snapshot()
+		byName := map[string]int{}
+		var unfinished int
+		for _, s := range spans {
+			byName[s.Name]++
+			if !s.Done {
+				unfinished++
+			}
+		}
+		if unfinished != 0 {
+			t.Errorf("%d spans left unfinished: %+v", unfinished, spans)
+		}
+		for name, want := range map[string]int{
+			"rm.request":      1,
+			"rm.file":         2,
+			"rm.select":       2,
+			"gridftp.session": 2,
+			"gridftp.auth":    2,
+			"gridftp.get":     2,
+		} {
+			if byName[name] != want {
+				t.Errorf("span %q count = %d, want %d", name, byName[name], want)
+			}
+		}
+		a := netlogger.AnalyzeTrace(spans, req.Span().TraceID())
+		if a.Coverage < 0.99 {
+			t.Errorf("coverage %.4f, want >= 0.99\n%s", a.Coverage, a.RenderStageTable())
+		}
+		// Control RTTs were measured on the way.
+		if metrics.Histogram("gridftp.control.rtts", nil).Count() == 0 {
+			t.Error("no control RTTs observed")
 		}
 	})
 }

@@ -113,6 +113,7 @@ func (n *Net) markResDirtyLocked(r *res) {
 
 // flowActivatedLocked registers a newly active flow with the allocator.
 func (n *Net) flowActivatedLocked(f *flow) {
+	n.flowsActive.Add(1)
 	n.attachLocked(f)
 	n.markFlowDirtyLocked(f)
 }
@@ -120,6 +121,7 @@ func (n *Net) flowActivatedLocked(f *flow) {
 // flowDeactivatedLocked withdraws a no-longer-active flow; its former
 // resources are marked dirty by the detach.
 func (n *Net) flowDeactivatedLocked(f *flow) {
+	n.flowsActive.Add(-1)
 	n.detachLocked(f)
 }
 

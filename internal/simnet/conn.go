@@ -61,6 +61,7 @@ type Conn struct {
 	flows     [2]*flow // flows[i] carries eps[i] -> eps[1-i]
 	writeCond [2]vtime.Cond
 	removed   bool
+	label     string // life-line context set via Endpoint.SetLabel
 }
 
 // Endpoint is one side of a Conn; it implements net.Conn plus the
@@ -280,6 +281,13 @@ func (c *Conn) removeLocked() {
 	c.flows[1].remove(now)
 	delete(c.eps[0].host.conns, c)
 	delete(c.eps[1].host.conns, c)
+	if c.net.nlog != nil {
+		c.net.nlog.Emit(c.eps[0].host.name, "simnet.conn.retired",
+			"src", c.eps[0].addr.Text,
+			"dst", c.eps[1].addr.Text,
+			"label", c.label,
+			"bytes", fmt.Sprintf("%.0f", c.flows[0].transmitted+c.flows[1].transmitted))
+	}
 }
 
 // reset kills the connection abruptly: all pending and future operations
@@ -543,6 +551,16 @@ func (ep *Endpoint) SetBuffer(bytes int) {
 			n.markFlowDirtyLocked(f)
 		}
 	}
+}
+
+// SetLabel tags the connection with an opaque diagnostic label (a
+// life-line trace context), reported in the simnet.conn.retired event.
+// It implements transport.Labeler; either endpoint may set it.
+func (ep *Endpoint) SetLabel(label string) {
+	n := ep.conn.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep.conn.label = label
 }
 
 // SetDiskBound marks this connection's payload as staged through this

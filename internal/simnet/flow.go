@@ -400,6 +400,9 @@ func (f *flow) remove(now time.Duration) {
 	}
 	f.fold(now)
 	f.removed = true
+	if f.active {
+		f.net.flowsActive.Add(-1)
+	}
 	f.active = false
 	f.net.detachLocked(f)
 	for _, t := range []vtime.Timer{f.doneTimer, f.lossTimer, f.growTimer, f.lingerTimer} {

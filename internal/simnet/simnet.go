@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"esgrid/internal/netlogger"
 	"esgrid/internal/vtime"
 )
 
@@ -108,6 +109,13 @@ func (c *CPUConfig) weight(mss int) float64 {
 // goroutines managed by the simulation's vtime.Sim.
 type Net struct {
 	clk *vtime.Sim
+
+	// Observability (Instrument): life-line events for retired
+	// connections and the simnet.flows.active gauge. Set before traffic
+	// starts; nil means uninstrumented.
+	nlog        *netlogger.Log
+	metrics     *netlogger.Registry
+	flowsActive *netlogger.Gauge
 
 	mu        sync.Mutex
 	nodes     map[string]*node
@@ -208,6 +216,19 @@ func New(clk *vtime.Sim) *Net {
 
 // Clock returns the simulated clock driving this network.
 func (n *Net) Clock() *vtime.Sim { return n.clk }
+
+// Instrument attaches observability to the network: retired connections
+// are logged as simnet.conn.retired events (with the life-line label the
+// protocol layer set via transport.Labeler), and the number of active
+// flows is tracked in the simnet.flows.active gauge. Either argument may
+// be nil. Call before traffic starts.
+func (n *Net) Instrument(log *netlogger.Log, metrics *netlogger.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nlog = log
+	n.metrics = metrics
+	n.flowsActive = metrics.Gauge("simnet.flows.active")
+}
 
 // AddNode registers a router/switch node with the given name.
 func (n *Net) AddNode(name string) {

@@ -56,6 +56,14 @@ type VirtualReader interface {
 	ReadVirtual(max int64) (int64, error)
 }
 
+// Labeler is implemented by connections that can carry an opaque
+// diagnostic label — a life-line trace context ("<trace>.<span>") set by
+// the protocol layer. Simulated connections report the label in flow
+// retirement events so per-request network activity is attributable.
+type Labeler interface {
+	SetLabel(label string)
+}
+
 // DeadlineConn is the subset of net.Conn deadline control the protocol
 // layers use; both real and simulated conns provide it via net.Conn.
 type DeadlineConn interface {
