@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check
+.PHONY: all build vet test race bench-smoke bench cover fuzz-smoke check
 
 all: check
 
@@ -27,4 +27,14 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchtime=1x ./...
 
-check: build vet race bench-smoke
+# Statement-coverage floor gate over internal/ (see coverage-floors.txt).
+cover:
+	./scripts/cover.sh
+
+# Ten seconds of live fuzzing per fuzz target, on top of the checked-in
+# corpora that every plain `go test` run already replays.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzControlChannel -fuzztime=10s -run '^$$' ./internal/gridftp/
+	$(GO) test -fuzz=FuzzFilter -fuzztime=10s -run '^$$' ./internal/ldapd/
+
+check: build vet race bench-smoke fuzz-smoke

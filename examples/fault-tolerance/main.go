@@ -2,7 +2,8 @@
 // 2 GB transfers over a flaky commodity path survive a power failure, a
 // DNS outage and a backbone slowdown via GridFTP's restartable transfers,
 // and the post-SC'00 data-channel caching removes the inter-transfer
-// dips.
+// dips. The outages are declared as a chaos.Schedule (internal/chaos),
+// the same fault-injection API the S13 chaos-replication experiment uses.
 //
 //	go run ./examples/fault-tolerance
 package main
@@ -12,6 +13,7 @@ import (
 	"log"
 	"time"
 
+	"esgrid/internal/chaos"
 	"esgrid/internal/experiments"
 )
 
@@ -21,7 +23,26 @@ func main() {
 	cfg.ParallelismSchedule = []int{1, 2, 4, 8}
 	cfg.Bucket = 2 * time.Minute
 
+	// The November 7, 2000 narrative, declared rather than hard-coded:
+	// each entry names a fault kind, target, start time and duration.
+	// Swap entries in and out to explore other failure stories.
+	cfg.Schedule = chaos.Schedule{
+		// SCinet power failure ~35 min in: the link drops and every
+		// connection crossing it dies.
+		{Kind: chaos.KindLinkDown, Target: "commodity", Start: 35 * time.Minute, Duration: 4 * time.Minute},
+		// DNS problems: no new sessions can be established for a while.
+		{Kind: chaos.KindDNSOutage, Start: 80 * time.Minute, Duration: 5 * time.Minute},
+		// Backbone congestion: a loss burst on the commodity path.
+		{Kind: chaos.KindLossBurst, Target: "commodity", Start: 110 * time.Minute, Duration: 6 * time.Minute, Factor: 0.05},
+		// Exhibition-floor backbone problems: 90% of capacity gone.
+		{Kind: chaos.KindLinkDegrade, Target: "commodity", Start: 130 * time.Minute, Duration: 10 * time.Minute, Factor: 0.1},
+	}
+
 	fmt.Println("== repeated 2 GB transfers across outages (Figure 8, compressed to 3h) ==")
+	fmt.Println("fault schedule:")
+	for _, f := range cfg.Schedule {
+		fmt.Printf("  %s\n", f)
+	}
 	r, err := experiments.RunFigure8(cfg)
 	if err != nil {
 		log.Fatal(err)

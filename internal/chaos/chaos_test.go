@@ -1,0 +1,364 @@
+package chaos
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"esgrid/internal/gridftp"
+	"esgrid/internal/netlogger"
+	"esgrid/internal/vtime"
+)
+
+// fakeLink records injector calls.
+type fakeLink struct {
+	up       bool
+	resets   int
+	factor   float64
+	loss     float64
+	upDowns  []bool
+	factors  []float64
+	losses   []float64
+	lossRate float64
+}
+
+func newFakeLink() *fakeLink { return &fakeLink{up: true, factor: 1, lossRate: 0.001} }
+
+func (l *fakeLink) SetUp(up, reset bool) {
+	l.up = up
+	if reset {
+		l.resets++
+	}
+	l.upDowns = append(l.upDowns, up)
+}
+func (l *fakeLink) SetCapacityFactor(f float64) { l.factor = f; l.factors = append(l.factors, f) }
+func (l *fakeLink) SetLossRate(p float64)       { l.loss = p; l.losses = append(l.losses, p) }
+func (l *fakeLink) LossRate() float64 {
+	if len(l.losses) > 0 {
+		return l.loss
+	}
+	return l.lossRate
+}
+
+type fakeHost struct {
+	down   bool
+	resets int
+}
+
+func (h *fakeHost) SetDown(down bool) { h.down = down }
+func (h *fakeHost) ResetConns(reason string) int {
+	h.resets++
+	return 3
+}
+
+type fakeStager struct {
+	delay time.Duration
+	err   error
+}
+
+func (s *fakeStager) SetStageDelay(d time.Duration) { s.delay = d }
+func (s *fakeStager) SetStageError(err error)       { s.err = err }
+
+type fakeDNS struct{ up bool }
+
+func (d *fakeDNS) SetDNS(up bool) { d.up = up }
+
+func harness() (*vtime.Sim, *netlogger.Log, *Targets, *fakeLink, *fakeHost, *fakeStager, *fakeDNS) {
+	clk := vtime.NewSim(1)
+	log := netlogger.NewLog(clk)
+	link, host, st, dns := newFakeLink(), &fakeHost{}, &fakeStager{}, &fakeDNS{up: true}
+	t := NewTargets().AddLink("a-b", link).AddHost("srv", host).AddStager("hpss", st)
+	t.SetDNS(dns)
+	return clk, log, t, link, host, st, dns
+}
+
+func TestValidateRejectsBadFaults(t *testing.T) {
+	clk, log, targets, _, _, _, _ := harness()
+	r := NewRunner(clk, log, targets)
+	cases := []struct {
+		name string
+		f    Fault
+	}{
+		{"unknown kind", Fault{Kind: "nope", Target: "a-b"}},
+		{"unknown link", Fault{Kind: KindLinkDown, Target: "x-y"}},
+		{"unknown host", Fault{Kind: KindHostCrash, Target: "ghost"}},
+		{"unknown stager", Fault{Kind: KindHRMStall, Target: "tape0", Delay: time.Second}},
+		{"negative start", Fault{Kind: KindLinkDown, Target: "a-b", Start: -time.Second}},
+		{"degrade factor 1", Fault{Kind: KindLinkDegrade, Target: "a-b", Factor: 1}},
+		{"loss rate 0", Fault{Kind: KindLossBurst, Target: "a-b"}},
+		{"flap count 0", Fault{Kind: KindLinkFlap, Target: "a-b"}},
+		{"stall delay 0", Fault{Kind: KindHRMStall, Target: "hpss"}},
+	}
+	for _, tc := range cases {
+		if err := r.Validate(Schedule{tc.f}); err == nil {
+			t.Errorf("%s: Validate accepted %v", tc.name, tc.f)
+		}
+	}
+	if err := r.Apply(Schedule{{Kind: "nope"}}); err == nil {
+		t.Error("Apply accepted an invalid schedule")
+	}
+}
+
+func TestRunnerExecutesSchedule(t *testing.T) {
+	clk, log, targets, link, host, st, dns := harness()
+	r := NewRunner(clk, log, targets)
+	sched := Schedule{
+		{Kind: KindLinkDown, Target: "a-b", Start: 1 * time.Second, Duration: 2 * time.Second},
+		{Kind: KindLinkDegrade, Target: "a-b", Start: 5 * time.Second, Duration: 2 * time.Second, Factor: 0.1},
+		{Kind: KindLossBurst, Target: "a-b", Start: 10 * time.Second, Duration: 2 * time.Second, Factor: 0.05},
+		{Kind: KindLinkFlap, Target: "a-b", Start: 15 * time.Second, Duration: 4 * time.Second, Count: 2},
+		{Kind: KindHostCrash, Target: "srv", Start: 20 * time.Second, Duration: 3 * time.Second},
+		{Kind: KindCtrlReset, Target: "srv", Start: 25 * time.Second},
+		{Kind: KindHRMStall, Target: "hpss", Start: 30 * time.Second, Duration: 2 * time.Second, Delay: 10 * time.Second},
+		{Kind: KindHRMError, Target: "hpss", Start: 35 * time.Second, Duration: 2 * time.Second},
+		{Kind: KindDNSOutage, Start: 40 * time.Second, Duration: 2 * time.Second},
+	}
+	var (
+		midDown    bool
+		midFactor  float64
+		midLoss    float64
+		midCrash   bool
+		midDelay   time.Duration
+		midErr     error
+		midDNSDown bool
+	)
+	clk.Run(func() {
+		if err := r.Apply(sched); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		clk.Sleep(2 * time.Second)
+		midDown = !link.up
+		clk.Sleep(4 * time.Second) // t=6s
+		midFactor = link.factor
+		clk.Sleep(5 * time.Second) // t=11s
+		midLoss = link.loss
+		clk.Sleep(10 * time.Second) // t=21s
+		midCrash = host.down
+		clk.Sleep(10 * time.Second) // t=31s
+		midDelay = st.delay
+		clk.Sleep(5 * time.Second) // t=36s
+		midErr = st.err
+		clk.Sleep(5 * time.Second) // t=41s
+		midDNSDown = !dns.up
+		clk.Sleep(30 * time.Second)
+	})
+	if !midDown {
+		t.Error("link not down during link.down")
+	}
+	if midFactor != 0.1 {
+		t.Errorf("capacity factor during degrade = %v, want 0.1", midFactor)
+	}
+	if midLoss != 0.05 {
+		t.Errorf("loss during burst = %v, want 0.05", midLoss)
+	}
+	if !midCrash {
+		t.Error("host not down during host.crash")
+	}
+	if midDelay != 10*time.Second {
+		t.Errorf("stage delay during stall = %v, want 10s", midDelay)
+	}
+	if midErr == nil {
+		t.Error("no stage error during hrm.error")
+	}
+	if !midDNSDown {
+		t.Error("DNS not down during dns.outage")
+	}
+
+	// Everything healed at the end.
+	if !link.up || link.factor != 1 || link.loss != 0.001 {
+		t.Errorf("link not healed: up=%v factor=%v loss=%v", link.up, link.factor, link.loss)
+	}
+	if host.down || st.delay != 0 || st.err != nil || !dns.up {
+		t.Errorf("targets not healed: host.down=%v delay=%v err=%v dns=%v",
+			host.down, st.delay, st.err, dns.up)
+	}
+	if host.resets != 1 {
+		t.Errorf("ctrl.reset reset conns %d times, want 1", host.resets)
+	}
+	// Flap: 2 extra down transitions + link.down's = 3 resets.
+	if link.resets != 3 {
+		t.Errorf("link saw %d resets, want 3 (1 down + 2 flap cycles)", link.resets)
+	}
+	// Activations: 8 single faults + 2 flap cycles = 10.
+	if got := r.Activations(); got != 10 {
+		t.Errorf("Activations = %d, want 10", got)
+	}
+	// Paired chaos.* events: every start has an end.
+	var starts, ends int
+	for _, ev := range log.Events() {
+		switch ev.Name {
+		case "chaos.fault.start":
+			starts++
+		case "chaos.fault.end":
+			ends++
+		}
+	}
+	if starts != 10 || ends != 10 {
+		t.Errorf("events: %d starts / %d ends, want 10/10", starts, ends)
+	}
+}
+
+func TestRandomScheduleDeterministicAndMixed(t *testing.T) {
+	cfg := RandomConfig{
+		Horizon: 10 * time.Minute,
+		Faults:  12,
+		Links:   []string{"a-b", "b-c"},
+		Hosts:   []string{"srv"},
+		Stagers: []string{"hpss"},
+		DNS:     true,
+	}
+	s1 := RandomSchedule(42, cfg)
+	s2 := RandomSchedule(42, cfg)
+	if len(s1) != 12 {
+		t.Fatalf("len = %d, want 12", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("equal seeds diverge at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	if s3 := RandomSchedule(43, cfg); len(s3) == len(s1) {
+		same := true
+		for i := range s1 {
+			if s1[i] != s3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical schedules")
+		}
+	}
+	if kinds := s1.Kinds(); len(kinds) < 4 {
+		t.Errorf("12 faults over all target types mixed only %d kinds: %v", len(kinds), kinds)
+	}
+	for i := 1; i < len(s1); i++ {
+		if s1[i].Start < s1[i-1].Start {
+			t.Fatalf("schedule not sorted by start")
+		}
+	}
+	// All faults land inside the usable window and are validatable.
+	clk := vtime.NewSim(1)
+	targets := NewTargets()
+	for _, l := range cfg.Links {
+		targets.AddLink(l, newFakeLink())
+	}
+	targets.AddHost("srv", &fakeHost{}).AddStager("hpss", &fakeStager{})
+	targets.SetDNS(&fakeDNS{})
+	if err := NewRunner(clk, nil, targets).Validate(s1); err != nil {
+		t.Errorf("generated schedule invalid: %v", err)
+	}
+	for _, f := range s1 {
+		if f.Start < cfg.Horizon/20 || f.Start > 3*cfg.Horizon/4 {
+			t.Errorf("fault start %v outside [0.05,0.75]·horizon", f.Start)
+		}
+	}
+}
+
+func restartEvent(file string, exts []gridftp.Extent) netlogger.Event {
+	var sum int64
+	for _, e := range exts {
+		sum += e.Len
+	}
+	return netlogger.Event{Name: "rm.restart", Fields: map[string]string{
+		"file":    file,
+		"bytes":   strconv.FormatInt(sum, 10),
+		"extents": gridftp.FormatRanges(exts),
+	}}
+}
+
+func TestInvariantsCleanRun(t *testing.T) {
+	inv := Invariants{MaxRefetchBytesPerFault: 1 << 20, RetryBackoff: time.Second}
+	files := []FileResult{{
+		Name: "f1", Size: 100, RequestedBytes: 100, Attempts: 1, Done: true,
+		GotHash: "h", WantHash: "h",
+	}}
+	events := []netlogger.Event{restartEvent("f1", []gridftp.Extent{{Off: 0, Len: 100}})}
+	rep := inv.Check(files, events, nil, 0)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+	if rep.RefetchBytes != 0 {
+		t.Errorf("RefetchBytes = %d, want 0", rep.RefetchBytes)
+	}
+}
+
+func TestInvariantsCatchViolations(t *testing.T) {
+	inv := Invariants{MaxRefetchBytesPerFault: 10, RetryBackoff: time.Second}
+	cases := []struct {
+		name   string
+		files  []FileResult
+		events []netlogger.Event
+		faults int
+		want   string
+	}{
+		{
+			"incomplete",
+			[]FileResult{{Name: "f", Size: 10, Err: "boom"}},
+			nil, 0, "did not complete",
+		},
+		{
+			"hash mismatch",
+			[]FileResult{{Name: "f", Size: 10, RequestedBytes: 10, Attempts: 1, Done: true, GotHash: "a", WantHash: "b"}},
+			nil, 0, "hash mismatch",
+		},
+		{
+			"refetch on clean run",
+			[]FileResult{{Name: "f", Size: 10, RequestedBytes: 15, Attempts: 2, Done: true, GotHash: "h", WantHash: "h"}},
+			nil, 0, "re-fetched 5 bytes > bound 0",
+		},
+		{
+			"refetch over bound",
+			[]FileResult{{Name: "f", Size: 10, RequestedBytes: 40, Attempts: 2, Done: true, GotHash: "h", WantHash: "h"}},
+			nil, 2, "re-fetched 30 bytes > bound 20",
+		},
+		{
+			"overlapping restart extents",
+			[]FileResult{{Name: "f", Size: 10, RequestedBytes: 10, Attempts: 1, Done: true, GotHash: "h", WantHash: "h"}},
+			[]netlogger.Event{restartEvent("f", []gridftp.Extent{{Off: 0, Len: 6}, {Off: 4, Len: 6}})},
+			1, "overlap",
+		},
+		{
+			"non-monotone restart",
+			[]FileResult{{Name: "f", Size: 20, RequestedBytes: 30, Attempts: 2, Done: true, GotHash: "h", WantHash: "h"}},
+			[]netlogger.Event{
+				restartEvent("f", []gridftp.Extent{{Off: 0, Len: 10}}),
+				restartEvent("f", []gridftp.Extent{{Off: 5, Len: 15}}),
+			},
+			1, "outside attempt",
+		},
+	}
+	for _, tc := range cases {
+		rep := inv.Check(tc.files, tc.events, nil, tc.faults)
+		err := rep.Err()
+		if err == nil {
+			t.Errorf("%s: no violation reported", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestInvariantsRetrySpanAccounting(t *testing.T) {
+	inv := Invariants{MaxRefetchBytesPerFault: 1 << 20, RetryBackoff: 2 * time.Second}
+	files := []FileResult{{
+		Name: "f", Size: 10, RequestedBytes: 12, Attempts: 3, Done: true,
+		GotHash: "h", WantHash: "h",
+	}}
+	mkSpan := func(d time.Duration) netlogger.SpanRecord {
+		return netlogger.SpanRecord{Stage: netlogger.StageRetry, Start: vtime.Epoch, End: vtime.Epoch.Add(d), Done: true}
+	}
+	good := []netlogger.SpanRecord{mkSpan(2 * time.Second), mkSpan(2 * time.Second)}
+	if err := inv.Check(files, nil, good, 1).Err(); err != nil {
+		t.Errorf("exact accounting flagged: %v", err)
+	}
+	short := []netlogger.SpanRecord{mkSpan(2 * time.Second)}
+	if err := inv.Check(files, nil, short, 1).Err(); err == nil {
+		t.Error("missing retry span not flagged")
+	} else if !strings.Contains(err.Error(), "retry spans total") {
+		t.Errorf("wrong violation: %v", err)
+	}
+}

@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"esgrid/internal/chaos"
+	"esgrid/internal/esgrpc"
+	"esgrid/internal/gridftp"
+	"esgrid/internal/hrm"
+	"esgrid/internal/ldapd"
+	"esgrid/internal/netlogger"
+	"esgrid/internal/replica"
+	"esgrid/internal/rm"
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+// ChaosConfig parameterizes S13: a multi-file replication on the
+// Figure 8 topology (plus a tape-backed second replica site) run under
+// an escalating randomized fault sweep, with every run audited by the
+// chaos.Invariants checker.
+type ChaosConfig struct {
+	Seed     int64
+	Files    int
+	FileMB   int64
+	NICBps   float64
+	DiskBps  float64
+	RTT      time.Duration
+	LossRate float64
+	// Levels is the fault sweep: one run per entry, injecting that many
+	// randomized faults.
+	Levels []int
+	// MaxOutage caps a single fault's duration; it must stay well under
+	// the retry budget (MaxAttempts × RetryBackoff) or completion is not
+	// recoverable.
+	MaxOutage    time.Duration
+	RetryBackoff time.Duration
+	MaxAttempts  int
+}
+
+// DefaultChaosConfig keeps runs small enough for the test suite while
+// still letting several faults land mid-transfer.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:         11,
+		Files:        4,
+		FileMB:       16,
+		NICBps:       100e6,
+		DiskBps:      82e6,
+		RTT:          24 * time.Millisecond,
+		LossRate:     3e-4,
+		Levels:       []int{0, 2, 4, 8},
+		MaxOutage:    4 * time.Second,
+		RetryBackoff: time.Second,
+		MaxAttempts:  30,
+	}
+}
+
+// ChaosRun is one schedule execution: the raw material for both the
+// sweep table and the invariant audit.
+type ChaosRun struct {
+	Elapsed     time.Duration
+	Activations int
+	Attempts    int // total transfer attempts across files
+	Files       []chaos.FileResult
+	Report      chaos.Report
+	JSONL       string
+}
+
+// GoodputBps is useful payload delivered per wall second.
+func (r ChaosRun) GoodputBps(totalBytes int64) float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(totalBytes) * 8 / r.Elapsed.Seconds()
+}
+
+// ChaosLevel is one row of the fault sweep.
+type ChaosLevel struct {
+	Faults      int
+	Activations int
+	Elapsed     time.Duration
+	GoodputBps  float64
+	Overhead    time.Duration // wall time beyond the fault-free baseline
+	Refetch     int64         // re-requested bytes beyond file sizes
+	Attempts    int
+}
+
+// ChaosResult is the full S13 sweep.
+type ChaosResult struct {
+	Config     ChaosConfig
+	TotalBytes int64
+	Levels     []ChaosLevel
+}
+
+// Rows renders the fault-sweep table.
+func (r ChaosResult) Rows() []Row {
+	rows := []Row{
+		{"Replication payload", fmt.Sprintf("%d files × %d MB", r.Config.Files, r.Config.FileMB)},
+		{"Invariants", "completion + hash equality + bounded re-fetch: all levels pass"},
+	}
+	for _, lv := range r.Levels {
+		rows = append(rows, Row{
+			Label: fmt.Sprintf("%2d fault(s) (%d activations)", lv.Faults, lv.Activations),
+			Value: fmt.Sprintf("%-8s goodput %-12s overhead %-8s refetch %6.2f MB  attempts %d",
+				durSeconds(lv.Elapsed), mbps(lv.GoodputBps),
+				durSeconds(lv.Overhead), float64(lv.Refetch)/(1<<20), lv.Attempts),
+		})
+	}
+	return rows
+}
+
+// chaosContent generates the deterministic file body for file idx: real
+// bytes, so destination hashes can be checked against the source.
+func chaosContent(idx int, size int64) []byte {
+	buf := make([]byte, size)
+	x := uint32(2463534242) + uint32(idx)*97
+	for i := range buf {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		buf[i] = byte(x)
+	}
+	return buf
+}
+
+func hashHex(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// RunChaosSchedule executes one replication run under the given fault
+// schedule and audits it. The topology extends Figure 8's
+// dallas/isp/anl path into a replication mesh: ncar (disk replica) and
+// lbnl (tape-backed replica behind an HRM) both reach the anl
+// destination through the isp node, and the RM falls over between them
+// as faults land.
+func RunChaosSchedule(cfg ChaosConfig, sched chaos.Schedule) (ChaosRun, error) {
+	if cfg.Files <= 0 || cfg.FileMB <= 0 {
+		return ChaosRun{}, fmt.Errorf("experiments: bad chaos config %+v", cfg)
+	}
+	clk := vtime.NewSim(cfg.Seed)
+	n := simnet.New(clk)
+	log := netlogger.NewLog(clk)
+	tracer := netlogger.NewTracer(clk, log)
+	metrics := netlogger.NewRegistry(clk)
+	n.Instrument(log, metrics)
+
+	n.AddHost("ncar", simnet.HostConfig{DefaultBufferBytes: 64 << 10})
+	n.AddHost("lbnl", simnet.HostConfig{DefaultBufferBytes: 64 << 10})
+	n.AddHost("anl", simnet.HostConfig{DefaultBufferBytes: 64 << 10, DiskBps: cfg.DiskBps})
+	n.AddNode("isp")
+	lNcar := n.AddLink("ncar", "isp", simnet.LinkConfig{CapacityBps: cfg.NICBps, Delay: cfg.RTT / 4, LossRate: cfg.LossRate / 2})
+	lLbnl := n.AddLink("lbnl", "isp", simnet.LinkConfig{CapacityBps: cfg.NICBps, Delay: cfg.RTT / 4, LossRate: cfg.LossRate / 2})
+	lAnl := n.AddLink("isp", "anl", simnet.LinkConfig{CapacityBps: 155e6, Delay: cfg.RTT / 4, LossRate: cfg.LossRate / 2})
+
+	// Real content at both replica sites; the HRM at lbnl fronts the same
+	// bytes with tape-staging semantics (its GridFTP server reads the
+	// "disk cache" MemStore; the RM's hrm.stage RPC pays the tape time).
+	size := cfg.FileMB << 20
+	srcNcar, srcLbnl := gridftp.NewMemStore(), gridftp.NewMemStore()
+	tape := hrm.New(clk, hrm.Config{
+		Drives: 2, MountTime: 3 * time.Second, SeekTime: 500 * time.Millisecond,
+		ReadBps: 200 << 20, CacheBytes: int64(cfg.Files+1) * size,
+	})
+	var names []string
+	wantHash := map[string]string{}
+	for i := 0; i < cfg.Files; i++ {
+		name := fmt.Sprintf("pcm-%02d.nc", i)
+		names = append(names, name)
+		body := chaosContent(i, size)
+		srcNcar.Put(name, body)
+		srcLbnl.Put(name, body)
+		wantHash[name] = hashHex(body)
+		tape.AddTapeFile(hrm.TapeFile{Name: name, Size: size, Tape: fmt.Sprintf("T%d", i/2)})
+	}
+
+	dir := ldapd.NewDir()
+	cat, err := replica.New(dir)
+	if err != nil {
+		return ChaosRun{}, err
+	}
+	if err := cat.CreateCollection("chaos", names); err != nil {
+		return ChaosRun{}, err
+	}
+	if err := cat.AddLocation("chaos", replica.Location{
+		Host: "ncar", Protocol: "gsiftp", Port: 2811, Path: "/d", Files: names,
+	}); err != nil {
+		return ChaosRun{}, err
+	}
+	if err := cat.AddLocation("chaos", replica.Location{
+		Host: "lbnl", Protocol: "gsiftp", Port: 2811, Path: "/hpss", Files: names, Staged: true,
+	}); err != nil {
+		return ChaosRun{}, err
+	}
+
+	targets := chaos.NewTargets().
+		AddLink("ncar-isp", lNcar).
+		AddLink("lbnl-isp", lLbnl).
+		AddLink("isp-anl", lAnl).
+		AddHost("ncar", n.Host("ncar")).
+		AddHost("lbnl", n.Host("lbnl")).
+		AddStager("lbnl", tape)
+	targets.SetDNS(n)
+	runner := chaos.NewRunner(clk, log, targets)
+	if err := runner.Validate(sched); err != nil {
+		return ChaosRun{}, err
+	}
+
+	dest := gridftp.NewMemStore()
+	run := ChaosRun{}
+	var statuses []rm.FileStatus
+	var rerr error
+	clk.Run(func() {
+		serve := func(host string, store gridftp.FileStore) bool {
+			h := n.Host(host)
+			srv, err := gridftp.NewServer(gridftp.Config{
+				Clock: clk, Net: h, Host: host, Store: store, DiskBound: true,
+				Log: log,
+			})
+			if err != nil {
+				rerr = err
+				return false
+			}
+			l, err := h.Listen(":2811")
+			if err != nil {
+				rerr = err
+				return false
+			}
+			clk.Go(func() { srv.Serve(l) })
+			return true
+		}
+		if !serve("ncar", srcNcar) || !serve("lbnl", srcLbnl) {
+			return
+		}
+		rpc := esgrpc.NewServer(clk, nil)
+		tape.RegisterRPC(rpc)
+		rl, err := n.Host("lbnl").Listen(":4811")
+		if err != nil {
+			rerr = err
+			return
+		}
+		clk.Go(func() { rpc.Serve(rl) })
+
+		mgr, err := rm.New(rm.Config{
+			Clock: clk, Net: n.Host("anl"), LocalHost: "anl", Replica: cat,
+			DestStore: dest, Policy: rm.PolicyFirst,
+			// A single stream and one file at a time keep equal-seed runs
+			// byte-identical (see LifelineConfig); the chaos determinism
+			// golden test depends on it.
+			Parallelism: 1, BufferBytes: 1 << 20,
+			CacheDataChannels: false,
+			MaxConcurrent:     1,
+			MaxAttempts:       cfg.MaxAttempts,
+			RetryBackoff:      cfg.RetryBackoff,
+			MonitorInterval:   time.Second,
+			Log:               log,
+			Tracer:            tracer,
+			Metrics:           metrics,
+		})
+		if err != nil {
+			rerr = err
+			return
+		}
+		if err := runner.Apply(sched); err != nil {
+			rerr = err
+			return
+		}
+		var reqs []rm.FileRequest
+		for _, f := range names {
+			reqs = append(reqs, rm.FileRequest{Name: f, Size: size})
+		}
+		t0 := clk.Now()
+		req, err := mgr.Submit("esg-user", "chaos", reqs)
+		if err != nil {
+			rerr = err
+			return
+		}
+		rerr = req.Wait()
+		run.Elapsed = clk.Now().Sub(t0)
+		statuses = req.Status()
+		// Let connection teardown drain before the run ends: the last
+		// control conn's server side retires a FIN-drain after Wait
+		// returns, and without this the conn.retired event would race
+		// with Run's return instead of landing in the stream
+		// deterministically.
+		clk.Sleep(2 * time.Second)
+	})
+	if rerr != nil && statuses == nil {
+		return run, rerr
+	}
+
+	run.Activations = runner.Activations()
+	for _, st := range statuses {
+		run.Attempts += st.Attempts
+		fr := chaos.FileResult{
+			Name: st.Name, Size: st.Size, RequestedBytes: st.RequestedBytes,
+			Attempts: st.Attempts, Done: st.State == rm.StateDone, Err: st.Error,
+			WantHash: wantHash[st.Name],
+		}
+		if body, ok := dest.Get(st.Name); ok {
+			fr.GotHash = hashHex(body)
+		}
+		run.Files = append(run.Files, fr)
+	}
+	inv := chaos.Invariants{
+		// A single activation can kill at most the one in-flight transfer
+		// (MaxConcurrent=1), forcing at worst a whole-file re-request.
+		MaxRefetchBytesPerFault: size,
+		RetryBackoff:            cfg.RetryBackoff,
+		Slack:                   time.Millisecond,
+	}
+	run.Report = inv.Check(run.Files, log.Events(), tracer.Snapshot(), run.Activations)
+	run.JSONL = log.JSONL()
+	return run, nil
+}
+
+// chaosHorizon estimates the clean-run wall time, so randomized fault
+// start times land while transfers are still in flight.
+func chaosHorizon(cfg ChaosConfig) time.Duration {
+	perFile := time.Duration(float64(cfg.FileMB<<20)*8/cfg.DiskBps*float64(time.Second)) + 2*time.Second
+	return time.Duration(cfg.Files) * perFile
+}
+
+// ChaosScheduleFor draws the randomized schedule for one sweep level.
+// Equal (config, level) pairs always yield the same schedule, which is
+// what lets a failed soak run be replayed from its printed seed.
+func ChaosScheduleFor(cfg ChaosConfig, seed int64, faults int) chaos.Schedule {
+	return chaos.RandomSchedule(seed, chaos.RandomConfig{
+		Horizon:   chaosHorizon(cfg),
+		Faults:    faults,
+		Links:     []string{"ncar-isp", "lbnl-isp", "isp-anl"},
+		Hosts:     []string{"ncar", "lbnl"},
+		Stagers:   []string{"lbnl"},
+		DNS:       true,
+		MaxOutage: cfg.MaxOutage,
+	})
+}
+
+// RunChaos executes the S13 fault sweep: one audited replication run
+// per level, escalating the injected fault count.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	if len(cfg.Levels) == 0 {
+		cfg.Levels = []int{0, 2, 4, 8}
+	}
+	res := ChaosResult{Config: cfg, TotalBytes: int64(cfg.Files) * (cfg.FileMB << 20)}
+	var baseline time.Duration
+	for li, faults := range cfg.Levels {
+		sched := ChaosScheduleFor(cfg, cfg.Seed*1000+int64(li), faults)
+		run, err := RunChaosSchedule(cfg, sched)
+		if err != nil {
+			return res, fmt.Errorf("level %d (%d faults): %w", li, faults, err)
+		}
+		if err := run.Report.Err(); err != nil {
+			return res, fmt.Errorf("level %d (%d faults): %w", li, faults, err)
+		}
+		if li == 0 {
+			baseline = run.Elapsed
+		}
+		res.Levels = append(res.Levels, ChaosLevel{
+			Faults:      faults,
+			Activations: run.Activations,
+			Elapsed:     run.Elapsed,
+			GoodputBps:  run.GoodputBps(res.TotalBytes),
+			Overhead:    run.Elapsed - baseline,
+			Refetch:     run.Report.RefetchBytes,
+			Attempts:    run.Attempts,
+		})
+	}
+	return res, nil
+}

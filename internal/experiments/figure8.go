@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"esgrid/internal/chaos"
 	"esgrid/internal/gridftp"
 	"esgrid/internal/netlogger"
 	"esgrid/internal/simnet"
@@ -34,6 +35,10 @@ type Figure8Config struct {
 	CacheDataChannels bool
 	// Faults enables the outage schedule.
 	Faults bool
+	// Schedule overrides the default outage narrative with an explicit
+	// chaos schedule (link target "commodity"). Nil with Faults set means
+	// Figure8FaultSchedule(Duration).
+	Schedule chaos.Schedule
 	// HandshakeCost per side for each new session.
 	HandshakeCost time.Duration
 	// Bucket is the series resolution (default 60s).
@@ -141,7 +146,14 @@ func RunFigure8(cfg Figure8Config) (Figure8Result, error) {
 		})
 
 		if cfg.Faults {
-			scheduleFigure8Faults(clk, n, commodity, cfg.Duration)
+			sched := cfg.Schedule
+			if sched == nil {
+				sched = Figure8FaultSchedule(cfg.Duration)
+			}
+			targets := chaos.NewTargets().AddLink("commodity", commodity).SetDNS(n)
+			if err := chaos.NewRunner(clk, nil, targets).Apply(sched); err != nil {
+				return
+			}
 		}
 
 		anl := n.Host("anl")
@@ -243,18 +255,18 @@ func RunFigure8(cfg Figure8Config) (Figure8Result, error) {
 	return res, nil
 }
 
-// scheduleFigure8Faults injects the November 7, 2000 events the paper
-// narrates: a SCinet power failure, DNS problems, and backbone problems,
-// placed proportionally across the run.
-func scheduleFigure8Faults(clk *vtime.Sim, n *simnet.Net, commodity *simnet.Link, d time.Duration) {
+// Figure8FaultSchedule is the November 7, 2000 outage narrative the paper
+// tells — a SCinet power failure, DNS problems, and backbone problems —
+// expressed as a declarative chaos schedule placed proportionally across
+// a run of length d. The commodity internet link is target "commodity".
+func Figure8FaultSchedule(d time.Duration) chaos.Schedule {
 	at := func(frac float64) time.Duration { return time.Duration(float64(d) * frac) }
-	// Power failure for the SC network: connections die outright.
-	clk.AfterFunc(at(0.18), func() { commodity.SetUp(false, true) })
-	clk.AfterFunc(at(0.20), func() { commodity.SetUp(true, true) })
-	// DNS problems: no new sessions for a while.
-	clk.AfterFunc(at(0.42), func() { n.SetDNS(false) })
-	clk.AfterFunc(at(0.45), func() { n.SetDNS(true) })
-	// Backbone problems on the exhibition floor: deep capacity loss.
-	clk.AfterFunc(at(0.65), func() { commodity.SetCapacityFactor(0.1) })
-	clk.AfterFunc(at(0.70), func() { commodity.SetCapacityFactor(1) })
+	return chaos.Schedule{
+		// Power failure for the SC network: connections die outright.
+		{Kind: chaos.KindLinkDown, Target: "commodity", Start: at(0.18), Duration: at(0.02)},
+		// DNS problems: no new sessions for a while.
+		{Kind: chaos.KindDNSOutage, Start: at(0.42), Duration: at(0.03)},
+		// Backbone problems on the exhibition floor: deep capacity loss.
+		{Kind: chaos.KindLinkDegrade, Target: "commodity", Start: at(0.65), Duration: at(0.05), Factor: 0.1},
+	}
 }

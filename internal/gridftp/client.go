@@ -353,7 +353,7 @@ func (c *Client) get(path string, sink Sink, ranges []Extent) (TransferStats, er
 	}
 	cmd := "RETR " + path
 	if ranges != nil {
-		cmd = "ERET " + formatRanges(ranges) + " " + path
+		cmd = "ERET " + FormatRanges(ranges) + " " + path
 	}
 	if err := c.ct.sendLine(cmd); err != nil {
 		return TransferStats{}, err

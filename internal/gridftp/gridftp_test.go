@@ -29,16 +29,16 @@ func TestPartitionRanges(t *testing.T) {
 }
 
 func TestParseFormatRanges(t *testing.T) {
-	rs, err := parseRanges("0:10,100:5")
+	rs, err := ParseRanges("0:10,100:5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if formatRanges(rs) != "0:10,100:5" {
-		t.Fatalf("round trip = %q", formatRanges(rs))
+	if FormatRanges(rs) != "0:10,100:5" {
+		t.Fatalf("round trip = %q", FormatRanges(rs))
 	}
 	for _, bad := range []string{"", "x", "5", "-1:5", "5:0", "1:2,"} {
-		if _, err := parseRanges(bad); err == nil {
-			t.Errorf("parseRanges(%q) succeeded", bad)
+		if _, err := ParseRanges(bad); err == nil {
+			t.Errorf("ParseRanges(%q) succeeded", bad)
 		}
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
 
 	"esgrid/internal/transport"
@@ -92,8 +91,18 @@ func (c *ctrl) readResponse() (*response, error) {
 	if len(line) < 4 {
 		return nil, fmt.Errorf("gridftp: short reply %q", line)
 	}
-	code, err := strconv.Atoi(line[:3])
-	if err != nil {
+	// RFC 959 reply codes are exactly three digits followed by a space
+	// (final line) or '-' (first line of a multi-line reply). Atoi is too
+	// lenient here: it would accept "-01" or "+99".
+	code := 0
+	for i := 0; i < 3; i++ {
+		d := line[i]
+		if d < '0' || d > '9' {
+			return nil, fmt.Errorf("gridftp: malformed reply %q", line)
+		}
+		code = code*10 + int(d-'0')
+	}
+	if line[3] != ' ' && line[3] != '-' {
 		return nil, fmt.Errorf("gridftp: malformed reply %q", line)
 	}
 	r := &response{Code: code, Text: line[4:]}
@@ -170,8 +179,8 @@ func readBlockHeader(r io.Reader) (blockHeader, error) {
 	}, nil
 }
 
-// parseRanges parses "off:len,off:len" into extents.
-func parseRanges(s string) ([]Extent, error) {
+// ParseRanges parses an ERET-style "off:len,off:len" extent list.
+func ParseRanges(s string) ([]Extent, error) {
 	var out []Extent
 	for _, part := range strings.Split(s, ",") {
 		var off, n int64
@@ -186,7 +195,9 @@ func parseRanges(s string) ([]Extent, error) {
 	return out, nil
 }
 
-func formatRanges(rs []Extent) string {
+// FormatRanges renders extents as the "off:len,off:len" wire form
+// ParseRanges accepts.
+func FormatRanges(rs []Extent) string {
 	parts := make([]string, len(rs))
 	for i, r := range rs {
 		parts[i] = fmt.Sprintf("%d:%d", r.Off, r.Len)

@@ -147,11 +147,7 @@ func (s *Server) handle(conn transport.Conn) {
 		if err != nil {
 			return
 		}
-		cmd, arg := line, ""
-		if i := strings.IndexByte(line, ' '); i >= 0 {
-			cmd, arg = line[:i], line[i+1:]
-		}
-		cmd = strings.ToUpper(cmd)
+		cmd, arg := splitCommand(line)
 		if !sess.authed() && cmd != "AUTH" && cmd != "FEAT" && cmd != "QUIT" && cmd != "NOOP" {
 			if err := ct.reply(codeNotAuthed, "please authenticate with AUTH GSI"); err != nil {
 				return
@@ -266,10 +262,31 @@ func (sess *session) cmdSbuf(arg string) error {
 	return sess.ct.reply(codeCmdOK, "socket buffer set to %d", n)
 }
 
-func (sess *session) cmdOpts(arg string) error {
+// splitCommand splits one control-channel line into its verb (upper-cased)
+// and argument. Pure, so the command parser can be fuzzed without a
+// session.
+func splitCommand(line string) (cmd, arg string) {
+	cmd = line
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		cmd, arg = line[:i], line[i+1:]
+	}
+	return strings.ToUpper(cmd), arg
+}
+
+// optsSettings is the outcome of parsing an OPTS argument.
+type optsSettings struct {
+	parallelism int  // 0: leave unchanged
+	cacheSet    bool // the CHANNELS Cache option was present
+	cache       bool
+}
+
+// parseOpts parses the argument of an OPTS command ("RETR
+// Parallelism=4;" or "CHANNELS Cache=on"). Pure, so it can be fuzzed.
+func parseOpts(arg string) (optsSettings, error) {
+	var set optsSettings
 	parts := strings.SplitN(arg, " ", 2)
 	if len(parts) != 2 {
-		return sess.ct.reply(codeBadParam, "OPTS needs a target and options")
+		return set, fmt.Errorf("OPTS needs a target and options")
 	}
 	target, opts := strings.ToUpper(parts[0]), parts[1]
 	switch target {
@@ -281,27 +298,42 @@ func (sess *session) cmdOpts(arg string) error {
 			}
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
-				return sess.ct.reply(codeBadParam, "bad option %q", kv)
+				return set, fmt.Errorf("bad option %q", kv)
 			}
 			switch strings.ToLower(k) {
 			case "parallelism":
 				p, err := strconv.Atoi(v)
 				if err != nil || p < 1 || p > 64 {
-					return sess.ct.reply(codeBadParam, "bad parallelism %q", v)
+					return set, fmt.Errorf("bad parallelism %q", v)
 				}
-				sess.parallelism = p
+				set.parallelism = p
 			default:
-				return sess.ct.reply(codeBadParam, "unknown option %q", k)
+				return set, fmt.Errorf("unknown option %q", k)
 			}
 		}
 	case "CHANNELS":
 		k, v, _ := strings.Cut(opts, "=")
 		if !strings.EqualFold(k, "cache") {
-			return sess.ct.reply(codeBadParam, "unknown channel option %q", k)
+			return set, fmt.Errorf("unknown channel option %q", k)
 		}
-		sess.cache = strings.EqualFold(v, "on") || v == "1"
+		set.cacheSet = true
+		set.cache = strings.EqualFold(v, "on") || v == "1"
 	default:
-		return sess.ct.reply(codeBadParam, "OPTS target %q not supported", target)
+		return set, fmt.Errorf("OPTS target %q not supported", target)
+	}
+	return set, nil
+}
+
+func (sess *session) cmdOpts(arg string) error {
+	set, err := parseOpts(arg)
+	if err != nil {
+		return sess.ct.reply(codeBadParam, "%v", err)
+	}
+	if set.parallelism > 0 {
+		sess.parallelism = set.parallelism
+	}
+	if set.cacheSet {
+		sess.cache = set.cache
 	}
 	return sess.ct.reply(codeCmdOK, "options accepted")
 }
@@ -510,7 +542,7 @@ func (sess *session) cmdEret(arg string) error {
 	if !ok {
 		return sess.ct.reply(codeBadParam, "ERET needs ranges and a path")
 	}
-	ranges, err := parseRanges(spec)
+	ranges, err := ParseRanges(spec)
 	if err != nil {
 		return sess.ct.reply(codeBadParam, "%v", err)
 	}

@@ -90,6 +90,12 @@ type HRM struct {
 	drives  []string // tape currently mounted in each drive; "" = empty
 	busy    []bool
 	stats   Stats
+
+	// Fault injection (the public injector API consumed by chaos):
+	// faultDelay adds tape-mount/robot stall time to every cache-miss
+	// staging; faultErr fails every staging outright while set.
+	faultDelay time.Duration
+	faultErr   error
 }
 
 // New creates an HRM on the given clock.
@@ -117,6 +123,22 @@ func (h *HRM) Instrument(host string, log *netlogger.Log, metrics *netlogger.Reg
 	h.host = host
 	h.nlog = log
 	h.stageHst = metrics.Histogram("hrm.stage.wait", stageWaitBuckets)
+}
+
+// SetStageDelay injects d of extra tape-machinery latency (a stuck mount
+// robot, a drive retrying) into every cache-miss staging; 0 clears it.
+func (h *HRM) SetStageDelay(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faultDelay = d
+}
+
+// SetStageError makes every staging request fail with err until cleared
+// with nil (the mass storage system refusing service).
+func (h *HRM) SetStageError(err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faultErr = err
 }
 
 // AddTapeFile registers an archived file.
@@ -183,6 +205,10 @@ func (h *HRM) emitStage(event, name, trid string, kv ...string) {
 func (h *HRM) stage(name string) (time.Duration, error) {
 	start := h.clk.Now()
 	h.mu.Lock()
+	if err := h.faultErr; err != nil {
+		h.mu.Unlock()
+		return 0, err
+	}
 	f, ok := h.archive[name]
 	if !ok {
 		h.mu.Unlock()
@@ -206,10 +232,12 @@ func (h *HRM) stage(name string) (time.Duration, error) {
 	}
 	h.busy[drive] = true
 	needMount := h.drives[drive] != f.Tape
+	stall := h.faultDelay
 	h.mu.Unlock()
 
-	// Tape machinery time: mount (if switching), seek, stream the bytes.
-	d := h.cfg.SeekTime + time.Duration(float64(f.Size)*8/h.cfg.ReadBps*float64(time.Second))
+	// Tape machinery time: mount (if switching), seek, stream the bytes,
+	// plus any injected stall (chaos hrm.stall faults).
+	d := h.cfg.SeekTime + time.Duration(float64(f.Size)*8/h.cfg.ReadBps*float64(time.Second)) + stall
 	if needMount {
 		d += h.cfg.MountTime
 	}

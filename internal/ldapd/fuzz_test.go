@@ -1,0 +1,60 @@
+package ldapd
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzFilter drives the RFC 4515-style filter parser with arbitrary
+// input: it must either return a usable filter tree or ErrBadFilter,
+// never panic — and an accepted tree must evaluate without panicking.
+func FuzzFilter(f *testing.F) {
+	for _, seed := range []string{
+		"(objectclass=grishost)",
+		"(&(objectclass=grishost)(site=anl))",
+		"(|(cn=a)(cn=b))",
+		"(!(cn=a))",
+		"(cn=*)",
+		"(cn=pcm*nc)",
+		"(cn=*middle*)",
+		"(bandwidthbps>=1000000)",
+		"(latencyns<=50000000)",
+		"(&(a=1)(|(b=2)(!(c=3))))",
+		"()",
+		"(",
+		")",
+		"((a=b))",
+		"(a=b",
+		"(=b)",
+		"(a>b)",
+		"  (cn=x)  ",
+		"(cn=a)(cn=b)",
+	} {
+		f.Add(seed)
+	}
+	entry := &Entry{DN: "cn=pcm-00.nc,o=esg", Attrs: map[string][]string{
+		"objectclass":  {"grishost", "top"},
+		"cn":           {"pcm-00.nc"},
+		"site":         {"anl"},
+		"bandwidthbps": {"100000000"},
+		"latencyns":    {"24000000"},
+		"empty":        {},
+	}}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := parseFilter(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadFilter) {
+				t.Fatalf("parseFilter(%q) error %v is not ErrBadFilter", s, err)
+			}
+			if n != nil {
+				t.Fatalf("parseFilter(%q) returned node and error", s)
+			}
+			return
+		}
+		if n == nil {
+			t.Fatalf("parseFilter(%q) returned nil node and nil error", s)
+		}
+		n.matches(entry)
+		n.matches(&Entry{DN: "cn=empty"})
+	})
+}

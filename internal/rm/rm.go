@@ -233,6 +233,12 @@ type FileStatus struct {
 	Attempts int
 	Error    string
 	RateBps  float64 // rate over the last monitor interval
+	// RequestedBytes sums the extents asked of servers across all
+	// attempts. RequestedBytes − Size is the re-fetch overhead paid to
+	// failures: bytes a dead attempt had in flight that a restart asked
+	// for again (0 on a fault-free run — extent restart never re-requests
+	// data already landed in the sink).
+	RequestedBytes int64
 }
 
 // Request tracks one multi-file request.
@@ -577,6 +583,22 @@ func (m *Manager) tryReplica(req *Request, fs *fileState, cand candidate, attemp
 	monDone.Go(func() { m.monitor(req, fs, sink, stopMon) })
 
 	missing := gridftp.MissingRanges(sink, size)
+	var reqBytes int64
+	for _, e := range missing {
+		reqBytes += e.Len
+	}
+	req.mu.Lock()
+	fs.RequestedBytes += reqBytes
+	req.mu.Unlock()
+	// The restart marker: what this attempt asks the server for. The
+	// chaos invariant checker replays these events to assert extents stay
+	// sorted, non-overlapping, and monotonically shrinking across
+	// attempts.
+	if m.cfg.Log != nil {
+		m.cfg.Log.Emit(m.cfg.LocalHost, "rm.restart",
+			"file", fs.Name, "attempt", fmt.Sprint(*attempt),
+			"bytes", fmt.Sprint(reqBytes), "extents", gridftp.FormatRanges(missing))
+	}
 	var xferErr error
 	if len(missing) == 0 {
 		xferErr = nil

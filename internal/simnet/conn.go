@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"time"
 
 	"esgrid/internal/transport"
@@ -25,6 +26,7 @@ type Host struct {
 
 	conns          map[*Conn]bool
 	retiredBytesTo map[string]float64
+	down           bool // crashed: dials to/from this host fail
 }
 
 // Name returns the host's node name.
@@ -57,6 +59,7 @@ func (h *Host) CPUUtilization() float64 {
 // Conn is a simulated connection between two endpoints.
 type Conn struct {
 	net       *Net
+	seq       int64 // creation order; fault injection resets victims by seq
 	eps       [2]*Endpoint
 	flows     [2]*flow // flows[i] carries eps[i] -> eps[1-i]
 	writeCond [2]vtime.Cond
@@ -178,11 +181,19 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 		n.mu.Unlock()
 		return nil, &DNSError{Name: host}
 	}
+	if h.down {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("simnet: host %s is down", h.name)
+	}
 	key := fmt.Sprintf("%s:%d", host, port)
 	l, ok := n.listeners[key]
 	if !ok {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("simnet: connection refused: %s", key)
+	}
+	if l.host.down {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("simnet: host %s is down", l.host.name)
 	}
 	fwd, err := n.routeLocked(h.name, host)
 	if err != nil {
@@ -198,7 +209,8 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 	cliPort := n.nextPort
 	n.nextPort++
 
-	c := &Conn{net: n}
+	c := &Conn{net: n, seq: n.nextConnSeq}
+	n.nextConnSeq++
 	cli := &Endpoint{
 		conn: c, idx: 0, host: h,
 		addr: transport.Addr{Net: "sim", Text: fmt.Sprintf("%s:%d", h.name, cliPort)},
@@ -583,6 +595,67 @@ func (ep *Endpoint) SetDiskBound(bound bool) {
 			n.markFlowDirtyLocked(f)
 		}
 	}
+}
+
+// --- fault injection (the public injector API consumed by chaos) ---
+
+// connsBySeq returns this host's live connections in creation order, so
+// fault paths reset victims deterministically across equal-seed runs.
+// Caller holds Net.mu.
+func (h *Host) connsBySeqLocked() []*Conn {
+	victims := make([]*Conn, 0, len(h.conns))
+	for c := range h.conns {
+		victims = append(victims, c)
+	}
+	sortConnsBySeq(victims)
+	return victims
+}
+
+func sortConnsBySeq(cs []*Conn) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].seq < cs[j].seq })
+}
+
+// ResetConns abruptly resets every live connection at this host (a
+// control-channel reset fault): all pending and future operations on both
+// endpoints fail. The host stays up; listeners keep accepting. It returns
+// the number of connections reset.
+func (h *Host) ResetConns(reason string) int {
+	n := h.net
+	n.mu.Lock()
+	victims := h.connsBySeqLocked()
+	n.mu.Unlock()
+	err := fmt.Errorf("simnet: connection reset by peer: %s", reason)
+	for _, c := range victims {
+		c.reset(err)
+	}
+	return len(victims)
+}
+
+// SetDown crashes (true) or reboots (false) the host. Crashing resets
+// every live connection and makes new dials to or from the host fail
+// until reboot; listeners and disk state survive, modelling a daemon that
+// restarts with the machine (Figure 8's power failure). Reboot restores
+// reachability; clients re-dial and restart from their markers.
+func (h *Host) SetDown(down bool) {
+	n := h.net
+	n.mu.Lock()
+	h.down = down
+	var victims []*Conn
+	if down {
+		victims = h.connsBySeqLocked()
+	}
+	n.mu.Unlock()
+	err := fmt.Errorf("simnet: connection reset: host %s crashed", h.name)
+	for _, c := range victims {
+		c.reset(err)
+	}
+}
+
+// IsDown reports whether the host is crashed.
+func (h *Host) IsDown() bool {
+	h.net.mu.Lock()
+	defer h.net.mu.Unlock()
+	return h.down
 }
 
 // BytesWritten returns cumulative payload bytes transmitted from this

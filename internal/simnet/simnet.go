@@ -128,6 +128,9 @@ type Net struct {
 	dnsUp     bool
 	nextPort  int
 	nextResID int
+	// nextConnSeq stamps connections in creation order, so fault paths
+	// that reset many victims do so in a deterministic order.
+	nextConnSeq int64
 
 	// Incremental allocation state (see alloc.go): dirty seeds for the
 	// next flush, the pending-flush latch, and the BFS visit epoch.
@@ -404,6 +407,9 @@ func (l *Link) SetUp(up bool, reset bool) {
 				}
 			}
 		}
+		// Map iteration above is unordered; reset in creation order so the
+		// conn.retired event stream is identical across equal-seed runs.
+		sortConnsBySeq(victims)
 	}
 	n.markResDirtyLocked(&l.fwd.res)
 	n.markResDirtyLocked(&l.rev.res)
@@ -432,6 +438,15 @@ func (l *Link) SetLossRate(p float64) {
 	defer n.mu.Unlock()
 	l.fwd.loss = p
 	l.rev.loss = p
+}
+
+// LossRate returns the link's current packet-loss probability, so burst
+// fault injection can restore it afterwards.
+func (l *Link) LossRate() float64 {
+	n := l.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return l.fwd.loss
 }
 
 // Utilization returns the current utilization (0..1) of the busier

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Coverage floor gate: run `go test -cover` over every internal/ package
+# and fail if any package reports statement coverage below the floor
+# checked in at coverage-floors.txt. A package missing from the floor
+# file (or a floored package that vanished) is also a failure, so new
+# subsystems must declare a floor when they land.
+set -eu
+cd "$(dirname "$0")/.."
+floors=${1:-coverage-floors.txt}
+
+out=$(go test -count=1 -cover ./internal/... 2>&1) || { printf '%s\n' "$out"; exit 1; }
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk -v floors="$floors" '
+BEGIN {
+    while ((getline line < floors) > 0) {
+        if (line ~ /^#/ || line ~ /^[ \t]*$/) continue
+        n = split(line, f, /[ \t]+/)
+        if (n >= 2) floor[f[1]] = f[2] + 0
+    }
+    close(floors)
+}
+$1 == "ok" {
+    pkg = $2
+    for (i = 3; i <= NF; i++) {
+        if ($i == "coverage:") { cov = $(i + 1); sub(/%/, "", cov); have[pkg] = cov + 0 }
+    }
+}
+END {
+    bad = 0
+    for (pkg in floor) {
+        if (!(pkg in have)) {
+            printf "COVER FAIL %s: no coverage reported (floor %.1f%%)\n", pkg, floor[pkg]
+            bad = 1
+        } else if (have[pkg] < floor[pkg]) {
+            printf "COVER FAIL %s: %.1f%% below floor %.1f%%\n", pkg, have[pkg], floor[pkg]
+            bad = 1
+        }
+    }
+    for (pkg in have) {
+        if (!(pkg in floor)) {
+            printf "COVER FAIL %s: no floor declared in %s\n", pkg, floors
+            bad = 1
+        }
+    }
+    if (bad) exit 1
+    print "coverage floors OK"
+}'
