@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench cover fuzz-smoke check
+.PHONY: all build vet test race bench-smoke bench bench-json cover fuzz-smoke check
 
 all: check
 
@@ -26,6 +26,11 @@ bench-smoke:
 # Full paper-figure and allocator benchmark suite.
 bench:
 	$(GO) test -bench . -benchtime=1x ./...
+
+# Machine-readable benchmark snapshot (BENCH_PR4.json at the repo
+# root): name -> ns/op, allocs/op. CI archives it per run.
+bench-json:
+	./scripts/bench.sh
 
 # Statement-coverage floor gate over internal/ (see coverage-floors.txt).
 cover:

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	esgbench [-exp all|table1|figure8|chancache|parallel|buffers|stripes|
-//	               replicasel|multisite|hrm|largefile|cpu|nws|chaos|demo]
-//	         [-full] [-seed N]
+//	               replicasel|multisite|hrm|largefile|cpu|nws|chaos|monitor|demo]
+//	         [-full] [-seed N] [-alerts s14.jsonl]
 //
 // -full runs the paper-scale durations (1 h Table 1, 14 h Figure 8);
 // the default uses shorter metered windows that preserve the shape.
@@ -26,10 +26,11 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, lifeline, chaos, demo)")
+	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, lifeline, chaos, monitor, demo)")
 	full := flag.Bool("full", false, "paper-scale durations (1h Table 1, 14h Figure 8)")
 	seed := flag.Int64("seed", 2000, "simulation seed")
 	flag.StringVar(&traceFile, "trace", "", "write the lifeline experiment's event stream to this file (.jsonl for JSONL, anything else for ULM)")
+	flag.StringVar(&alertsFile, "alerts", "", "write the monitor experiment's labeled alert stream to this JSONL file")
 	flag.Parse()
 
 	runners := map[string]func(int64, bool) error{
@@ -49,10 +50,11 @@ func main() {
 		"scale":      runScale,
 		"lifeline":   runLifeline,
 		"chaos":      runChaos,
+		"monitor":    runMonitor,
 		"demo":       runDemo,
 	}
 	order := []string{"table1", "figure8", "chancache", "parallel", "buffers", "stripes",
-		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "chaos", "demo"}
+		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "chaos", "monitor", "demo"}
 
 	var selected []string
 	if *expFlag == "all" {
@@ -349,6 +351,35 @@ func runChaos(seed int64, full bool) error {
 		return err
 	}
 	fmt.Print(experiments.Table("measured (every level passes the recovery-invariant audit):", r.Rows()))
+	return nil
+}
+
+// alertsFile receives the monitor experiment's alert JSONL (-alerts
+// flag): one {"case":...} marker line per scenario followed by that
+// run's alerts, so detector regressions diff cleanly in CI.
+var alertsFile string
+
+func runMonitor(seed int64, full bool) error {
+	cfg := experiments.DefaultMonitorConfig()
+	cfg.Seed = seed
+	header("S14 — detector ground truth: labeled chaos replay (§5/§8)",
+		"the SC'00 operators spotted stalls and throughput collapse by eye; the monitor must match them")
+	r, err := experiments.RunMonitor(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Table("measured (precision/recall vs labeled fault windows):", r.Rows()))
+	if alertsFile != "" {
+		var b strings.Builder
+		for _, c := range r.Cases {
+			fmt.Fprintf(&b, "{\"case\":%q,\"faults\":%d,\"detected\":%d}\n", c.Name, c.Faults, c.Detected)
+			b.WriteString(c.AlertJSONL)
+		}
+		if err := os.WriteFile(alertsFile, []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote labeled alert stream to %s\n", alertsFile)
+	}
 	return nil
 }
 

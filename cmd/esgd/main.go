@@ -4,6 +4,7 @@
 // Usage:
 //
 //	esgd -addr :2811 -root /data/esg [-ca ca.json -id server.json -trust ca.pub.json]
+//	esgd -addr :2811 -root /data/esg -mon :9111   # + live monitor for esgmon
 //	esgd -newca ca.json -capub ca.pub.json            # create a demo CA
 //	esgd -issue "/CN=alice" -ca ca.json -out alice.json
 //
@@ -22,8 +23,11 @@ import (
 	"log"
 	"time"
 
+	"esgrid/internal/esgrpc"
 	"esgrid/internal/gridftp"
 	"esgrid/internal/gsi"
+	"esgrid/internal/monitor"
+	"esgrid/internal/netlogger"
 	"esgrid/internal/transport"
 	"esgrid/internal/vtime"
 )
@@ -40,6 +44,7 @@ func main() {
 	issue := flag.String("issue", "", "issue an identity for this subject and exit")
 	out := flag.String("out", "identity.json", "with -issue: output identity file")
 	ttl := flag.Duration("ttl", 30*24*time.Hour, "with -issue: credential lifetime")
+	mon := flag.String("mon", "", "serve the live monitor (esgmon endpoint) on this address")
 	flag.Parse()
 
 	switch {
@@ -91,15 +96,35 @@ func main() {
 		auth = &gsi.Config{Identity: id, Trust: trust}
 	}
 
+	// With -mon, the daemon's own event stream feeds a live monitor
+	// exposed over esgrpc: esgmon -addr <mon> tails it.
+	var nlog *netlogger.Log
+	if *mon != "" {
+		nlog = netlogger.NewLog(vtime.Real{})
+	}
 	srv, err := gridftp.NewServer(gridftp.Config{
 		Clock: vtime.Real{},
 		Net:   transport.Real{},
 		Host:  *host,
 		Store: gridftp.NewDirStore(*root),
 		Auth:  auth,
+		Log:   nlog,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *mon != "" {
+		m := monitor.New(monitor.Config{Clock: vtime.Real{}})
+		m.Attach(nlog)
+		m.Start()
+		rpc := esgrpc.NewServer(vtime.Real{}, auth)
+		m.RegisterRPC(rpc)
+		ml, err := (transport.Real{}).Listen(*mon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("esgd: monitor on %s (esgmon -addr)", ml.Addr())
+		go rpc.Serve(ml)
 	}
 	l, err := (transport.Real{}).Listen(*addr)
 	if err != nil {

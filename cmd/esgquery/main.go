@@ -8,6 +8,7 @@
 //	esgquery [-ldif catalogs.ldif] datasets
 //	esgquery [-ldif catalogs.ldif] files   -dataset pcm-b06.44 [-var tas] [-from 1998-01] [-to 1998-03]
 //	esgquery [-ldif catalogs.ldif] replicas -collection pcm-b06.44-monthly -file pcm.tas.1998-01.nc
+//	esgquery [-ldif catalogs.ldif] health   # monitor health records + NWS forecasts from MDS
 //	esgquery -dump                          # write the default catalogs as LDIF to stdout
 package main
 
@@ -21,6 +22,7 @@ import (
 
 	esgrid "esgrid"
 	"esgrid/internal/ldapd"
+	"esgrid/internal/mds"
 	"esgrid/internal/metadata"
 	"esgrid/internal/replica"
 )
@@ -111,10 +113,69 @@ func main() {
 			}
 			fmt.Printf("  %s%s\n", l.URL(*file), staged)
 		}
+	case "health":
+		if err := printHealth(dir); err != nil {
+			log.Fatal(err)
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: esgquery [flags] datasets|files|replicas  (see -h)")
+		fmt.Fprintln(os.Stderr, "usage: esgquery [flags] datasets|files|replicas|health  (see -h)")
 		os.Exit(2)
 	}
+}
+
+// printHealth renders the monitor's MDS publications — the operations
+// view the rm's health-aware ranking reads.
+func printHealth(dir ldapd.Directory) error {
+	info, err := mds.New(dir)
+	if err != nil {
+		return err
+	}
+	hosts, err := info.HostHealths()
+	if err != nil {
+		return err
+	}
+	fmt.Println("HOST HEALTH")
+	if len(hosts) == 0 {
+		fmt.Println("  (no records: run a monitored grid against this directory)")
+	} else {
+		fmt.Printf("  %-16s %-9s %12s %7s %7s  %s\n", "host", "status", "goodput", "active", "alerts", "updated")
+		for _, h := range hosts {
+			fmt.Printf("  %-16s %-9s %10.1fMb %7d %7d  %s\n",
+				h.Host, h.Status, h.GoodputBps/1e6, h.ActiveTransfers, h.Alerts,
+				h.Updated.UTC().Format(time.RFC3339))
+		}
+	}
+	paths, err := info.PathHealths()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nPATH HEALTH")
+	if len(paths) == 0 {
+		fmt.Println("  (no records)")
+	} else {
+		fmt.Printf("  %-24s %-9s %12s %12s  %s\n", "path", "status", "observed", "forecast", "updated")
+		for _, p := range paths {
+			fmt.Printf("  %-24s %-9s %10.1fMb %10.1fMb  %s\n",
+				p.From+"->"+p.To, p.Status, p.ObservedBps/1e6, p.ForecastBps/1e6,
+				p.Updated.UTC().Format(time.RFC3339))
+		}
+	}
+	fcs, err := info.AllForecasts()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nNWS FORECASTS")
+	if len(fcs) == 0 {
+		fmt.Println("  (no records)")
+	} else {
+		fmt.Printf("  %-24s %12s %10s %10s  %s\n", "path", "bandwidth", "latency", "err", "measured")
+		for _, f := range fcs {
+			fmt.Printf("  %-24s %10.1fMb %10s %8.1fMb  %s\n",
+				f.From+"->"+f.To, f.BandwidthBps/1e6, f.Latency, f.ErrBps/1e6,
+				f.Measured.UTC().Format(time.RFC3339))
+		}
+	}
+	return nil
 }
 
 // buildDir loads an LDIF tree or synthesizes the default testbed's

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"esgrid/internal/monitor"
+	"esgrid/internal/rm"
+)
+
+// TestMonitorGroundTruth runs the full S14 sweep and gates the two
+// detectors the issue pins: stall and collapse must reach precision
+// ≥ 0.9 and recall ≥ 0.8 against the labeled fault windows.
+func TestMonitorGroundTruth(t *testing.T) {
+	res, err := RunMonitor(DefaultMonitorConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != len(MonitorCases()) {
+		t.Fatalf("ran %d cases, want %d", len(res.Cases), len(MonitorCases()))
+	}
+	for _, r := range res.Rows() {
+		t.Logf("%-28s %s", r.Label, r.Value)
+	}
+	kinds := 0
+	for _, c := range res.Cases {
+		if c.Detected > 0 {
+			kinds++
+		}
+		if c.Recall < 0.5 {
+			t.Errorf("case %s: recall %.2f (%d/%d faults)", c.Name, c.Recall, c.Detected, c.Faults)
+		}
+	}
+	if kinds < 3 {
+		t.Errorf("only %d fault kinds detected, want ≥ 3", kinds)
+	}
+	for _, d := range []string{monitor.DetectorStall, monitor.DetectorCollapse} {
+		if p := res.Precision(d); p < 0.9 {
+			t.Errorf("%s precision %.2f < 0.9", d, p)
+		}
+		if r := res.Recall(d); r < 0.8 {
+			t.Errorf("%s recall %.2f < 0.8", d, r)
+		}
+	}
+}
+
+// TestMonitorDeterminism: two equal-seed runs of the same case produce
+// byte-identical alert streams.
+func TestMonitorDeterminism(t *testing.T) {
+	c := MonitorCases()[0] // host.crash
+	a, err := RunMonitorCase(c, 77, DefaultMonitorConfig().Grace, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMonitorCase(c, 77, DefaultMonitorConfig().Grace, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AlertJSONL == "" {
+		t.Fatal("no alerts on a fault-laden run")
+	}
+	if a.AlertJSONL != b.AlertJSONL {
+		t.Fatalf("equal-seed alert streams differ:\n--- a ---\n%s\n--- b ---\n%s", a.AlertJSONL, b.AlertJSONL)
+	}
+	if a.JSONL != b.JSONL {
+		t.Fatal("equal-seed event streams differ")
+	}
+}
+
+// TestMonitorPureObserver: attaching the monitor must not perturb the
+// system it watches — the full netlogger stream and the transfer
+// outcomes are byte-identical with and without it.
+func TestMonitorPureObserver(t *testing.T) {
+	c := MonitorCases()[0] // host.crash
+	with, err := RunMonitorCase(c, 78, DefaultMonitorConfig().Grace, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunMonitorCase(c, 78, DefaultMonitorConfig().Grace, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.JSONL != without.JSONL {
+		da, db := diffLine(with.JSONL, without.JSONL)
+		t.Fatalf("monitored event stream diverges from bare run:\nmonitored: %s\nbare:      %s", da, db)
+	}
+	if len(with.Statuses) != len(without.Statuses) {
+		t.Fatalf("status count differs: %d vs %d", len(with.Statuses), len(without.Statuses))
+	}
+	for i := range with.Statuses {
+		if with.Statuses[i] != without.Statuses[i] {
+			t.Fatalf("transfer schedule differs at %d:\n%+v\n%+v", i, with.Statuses[i], without.Statuses[i])
+		}
+	}
+	if without.AlertJSONL != "" {
+		t.Fatal("bare run produced alerts")
+	}
+	// The monitored run published health into MDS.
+	if len(with.Healths) == 0 {
+		t.Fatal("monitored run published no host health")
+	}
+	for _, st := range with.Statuses {
+		if st.State != rm.StateDone {
+			t.Fatalf("file %s not done: %+v", st.Name, st)
+		}
+	}
+}
+
+// diffLine returns the first differing line pair of two JSONL streams.
+func diffLine(a, b string) (string, string) {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return la[i], lb[i]
+		}
+	}
+	return "<end>", "<end>"
+}

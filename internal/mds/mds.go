@@ -34,7 +34,7 @@ func New(dir ldapd.Directory) (*Service, error) {
 	if err != nil && !isExists(err) {
 		return nil, err
 	}
-	for _, ou := range []string{"ou=hosts", "ou=network", "ou=services"} {
+	for _, ou := range []string{"ou=hosts", "ou=network", "ou=services", "ou=health"} {
 		if err := dir.Add(ou+","+Base, map[string][]string{"objectclass": {"organizationalunit"}}); err != nil && !isExists(err) {
 			return nil, err
 		}
@@ -179,3 +179,155 @@ func decodeForecast(e *ldapd.Entry) (NetForecast, error) {
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Health status values published by the monitor plane. "down" marks a
+// host/path with an active stall-class alert, "degraded" one with a
+// throughput or retry anomaly, "ok" everything else.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthDown     = "down"
+)
+
+// HostHealth is the monitor plane's published verdict on one host.
+type HostHealth struct {
+	Host            string
+	Status          string // ok | degraded | down
+	GoodputBps      float64
+	ActiveTransfers int
+	Alerts          int // alerts charged to this host so far
+	Updated         time.Time
+}
+
+// PathHealth is the monitor plane's verdict on a directed host pair,
+// pairing the observed transfer rate with the NWS forecast it deviated
+// from (the residual the collapse detector alarms on).
+type PathHealth struct {
+	From, To    string
+	Status      string
+	ObservedBps float64
+	ForecastBps float64
+	Updated     time.Time
+}
+
+func hostHealthDN(base, host string) string {
+	return fmt.Sprintf("hh=%s,ou=health,%s", host, base)
+}
+
+func pathHealthDN(base, from, to string) string {
+	return fmt.Sprintf("hp=%s->%s,ou=health,%s", from, to, base)
+}
+
+// PublishHostHealth upserts the health record for a host.
+func (s *Service) PublishHostHealth(h HostHealth) error {
+	vals := map[string][]string{
+		"objectclass": {"monhosthealth"},
+		"hh":          {h.Host},
+		"status":      {h.Status},
+		"goodputbps":  {formatFloat(h.GoodputBps)},
+		"active":      {strconv.Itoa(h.ActiveTransfers)},
+		"alerts":      {strconv.Itoa(h.Alerts)},
+		"updated":     {h.Updated.UTC().Format(time.RFC3339Nano)},
+	}
+	return s.upsert(hostHealthDN(s.base, h.Host), vals)
+}
+
+// PublishPathHealth upserts the health record for a directed pair.
+func (s *Service) PublishPathHealth(p PathHealth) error {
+	vals := map[string][]string{
+		"objectclass": {"monpathhealth"},
+		"from":        {p.From},
+		"to":          {p.To},
+		"status":      {p.Status},
+		"observedbps": {formatFloat(p.ObservedBps)},
+		"forecastbps": {formatFloat(p.ForecastBps)},
+		"updated":     {p.Updated.UTC().Format(time.RFC3339Nano)},
+	}
+	return s.upsert(pathHealthDN(s.base, p.From, p.To), vals)
+}
+
+func (s *Service) upsert(dn string, vals map[string][]string) error {
+	err := s.dir.Add(dn, vals)
+	if isExists(err) {
+		mods := make([]ldapd.Mod, 0, len(vals))
+		for k, v := range vals {
+			mods = append(mods, ldapd.Mod{Op: ldapd.ModReplace, Attr: k, Values: v})
+		}
+		return s.dir.Modify(dn, mods)
+	}
+	return err
+}
+
+// HostHealthFor reads one host's health record; an error means no record
+// has been published (callers should treat that as HealthOK).
+func (s *Service) HostHealthFor(host string) (HostHealth, error) {
+	es, err := s.dir.Search(hostHealthDN(s.base, host), ldapd.ScopeBase, "")
+	if err != nil {
+		return HostHealth{}, fmt.Errorf("mds: no health for host %s: %w", host, err)
+	}
+	return decodeHostHealth(es[0]), nil
+}
+
+// PathHealthFor reads the health record for a directed pair.
+func (s *Service) PathHealthFor(from, to string) (PathHealth, error) {
+	es, err := s.dir.Search(pathHealthDN(s.base, from, to), ldapd.ScopeBase, "")
+	if err != nil {
+		return PathHealth{}, fmt.Errorf("mds: no health for path %s->%s: %w", from, to, err)
+	}
+	return decodePathHealth(es[0]), nil
+}
+
+// HostHealths returns all published host health records.
+func (s *Service) HostHealths() ([]HostHealth, error) {
+	es, err := s.dir.Search("ou=health,"+s.base, ldapd.ScopeSub, "(objectclass=monhosthealth)")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HostHealth, 0, len(es))
+	for _, e := range es {
+		out = append(out, decodeHostHealth(e))
+	}
+	return out, nil
+}
+
+// PathHealths returns all published path health records.
+func (s *Service) PathHealths() ([]PathHealth, error) {
+	es, err := s.dir.Search("ou=health,"+s.base, ldapd.ScopeSub, "(objectclass=monpathhealth)")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PathHealth, 0, len(es))
+	for _, e := range es {
+		out = append(out, decodePathHealth(e))
+	}
+	return out, nil
+}
+
+func decodeHostHealth(e *ldapd.Entry) HostHealth {
+	gp, _ := strconv.ParseFloat(e.Get("goodputbps"), 64)
+	active, _ := strconv.Atoi(e.Get("active"))
+	alerts, _ := strconv.Atoi(e.Get("alerts"))
+	updated, _ := time.Parse(time.RFC3339Nano, e.Get("updated"))
+	return HostHealth{
+		Host:            e.Get("hh"),
+		Status:          e.Get("status"),
+		GoodputBps:      gp,
+		ActiveTransfers: active,
+		Alerts:          alerts,
+		Updated:         updated,
+	}
+}
+
+func decodePathHealth(e *ldapd.Entry) PathHealth {
+	obs, _ := strconv.ParseFloat(e.Get("observedbps"), 64)
+	fc, _ := strconv.ParseFloat(e.Get("forecastbps"), 64)
+	updated, _ := time.Parse(time.RFC3339Nano, e.Get("updated"))
+	return PathHealth{
+		From:        e.Get("from"),
+		To:          e.Get("to"),
+		Status:      e.Get("status"),
+		ObservedBps: obs,
+		ForecastBps: fc,
+		Updated:     updated,
+	}
+}

@@ -80,3 +80,72 @@ func TestNewIsIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHostHealthRoundTrip(t *testing.T) {
+	s := testService(t)
+	h := HostHealth{
+		Host: "ncar", Status: HealthDegraded,
+		GoodputBps: 42e6, ActiveTransfers: 3, Alerts: 2,
+		Updated: time.Date(2000, 11, 6, 8, 0, 12, 0, time.UTC),
+	}
+	if err := s.PublishHostHealth(h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.HostHealthFor("ncar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+	// Upsert replaces in place.
+	h.Status = HealthOK
+	h.Alerts = 5
+	if err := s.PublishHostHealth(h); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.HostHealths()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("HostHealths = %v, %v", all, err)
+	}
+	if all[0].Status != HealthOK || all[0].Alerts != 5 {
+		t.Fatalf("after upsert: %+v", all[0])
+	}
+	if _, err := s.HostHealthFor("ghost"); err == nil {
+		t.Fatal("missing host health returned")
+	}
+}
+
+func TestPathHealthRoundTrip(t *testing.T) {
+	s := testService(t)
+	p := PathHealth{
+		From: "lbnl", To: "anl", Status: HealthDown,
+		ObservedBps: 1e6, ForecastBps: 90e6,
+		Updated: time.Date(2000, 11, 6, 8, 1, 0, 0, time.UTC),
+	}
+	if err := s.PublishPathHealth(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.PathHealthFor("lbnl", "anl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: got %+v want %+v", got, p)
+	}
+	// Directed: the reverse pair has no record.
+	if _, err := s.PathHealthFor("anl", "lbnl"); err == nil {
+		t.Fatal("reverse path health returned")
+	}
+	p.Status = HealthOK
+	if err := s.PublishPathHealth(p); err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.PathHealths()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("PathHealths = %v, %v", all, err)
+	}
+	if all[0].Status != HealthOK {
+		t.Fatalf("after upsert: %+v", all[0])
+	}
+}

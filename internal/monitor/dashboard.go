@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderDashboard draws a snapshot as the esgmon text dashboard: site
+// health and goodput, the live transfer table, stage-latency digests,
+// and the most recent alerts (newest first).
+func RenderDashboard(s Snapshot, width int) string {
+	if width < 60 {
+		width = 60
+	}
+	var b strings.Builder
+	rule := strings.Repeat("=", width)
+	fmt.Fprintf(&b, "esgmon — %s  (tick %d, %d alert(s), %g active flow(s))\n",
+		s.Now.UTC().Format("2006-01-02 15:04:05"), s.Ticks, len(s.Alerts), s.ActiveFlows)
+	b.WriteString(rule + "\n")
+
+	b.WriteString("SITES\n")
+	if len(s.Hosts) == 0 {
+		b.WriteString("  (none observed)\n")
+	} else {
+		fmt.Fprintf(&b, "  %-16s %-9s %12s %12s %7s %7s\n",
+			"host", "status", "goodput", "mean", "active", "alerts")
+		for _, h := range s.Hosts {
+			fmt.Fprintf(&b, "  %-16s %-9s %10.1fMb %10.1fMb %7d %7d\n",
+				h.Host, h.Status, h.GoodputBps/1e6, h.MeanBps/1e6, h.Active, h.Alerts)
+		}
+	}
+
+	b.WriteString("\nTRANSFERS\n")
+	if len(s.Transfers) == 0 {
+		b.WriteString("  (none observed)\n")
+	} else {
+		fmt.Fprintf(&b, "  %-28s %-12s %-8s %12s %10s %4s\n",
+			"file", "replica", "state", "received", "rate", "try")
+		for _, t := range s.Transfers {
+			fmt.Fprintf(&b, "  %-28s %-12s %-8s %12d %8.1fMb %4d\n",
+				t.File, t.Replica, t.State, t.Received, t.RateBps/1e6, t.Attempts)
+		}
+	}
+
+	if len(s.Stages) > 0 {
+		b.WriteString("\nSTAGE LATENCIES\n")
+		fmt.Fprintf(&b, "  %-16s %6s %10s %10s %10s\n", "stage", "n", "p50", "p95", "max")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "  %-16s %6d %9.3fs %9.3fs %9.3fs\n",
+				st.Stage, st.N, st.P50, st.P95, st.Max)
+		}
+	}
+
+	b.WriteString("\nALERTS (newest first)\n")
+	if len(s.Alerts) == 0 {
+		b.WriteString("  (none)\n")
+	} else {
+		const maxShown = 12
+		shown := 0
+		for i := len(s.Alerts) - 1; i >= 0 && shown < maxShown; i-- {
+			a := s.Alerts[i]
+			fmt.Fprintf(&b, "  %s  %-13s %-12s %-24s %s\n",
+				a.When().UTC().Format("15:04:05"), a.Detector, a.Host, a.Subject, a.Detail)
+			shown++
+		}
+		if len(s.Alerts) > maxShown {
+			fmt.Fprintf(&b, "  … %d earlier alert(s)\n", len(s.Alerts)-maxShown)
+		}
+	}
+	return b.String()
+}

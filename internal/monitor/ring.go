@@ -1,0 +1,182 @@
+package monitor
+
+import (
+	"math"
+	"time"
+)
+
+// Ring is a fixed-capacity time series: pushes overwrite the oldest
+// sample once the buffer is full. The monitor keeps one per tracked
+// host (goodput) plus one for the global active-flow gauge, bounding
+// memory no matter how long the plane runs.
+type Ring struct {
+	vals  []float64
+	head  int // next write position
+	n     int // samples stored (<= cap)
+	total int // samples ever pushed
+}
+
+// NewRing returns a ring holding the last capacity samples (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{vals: make([]float64, capacity)}
+}
+
+// Push appends a sample, evicting the oldest when full.
+func (r *Ring) Push(v float64) {
+	r.vals[r.head] = v
+	r.head = (r.head + 1) % len(r.vals)
+	if r.n < len(r.vals) {
+		r.n++
+	}
+	r.total++
+}
+
+// Len reports how many samples are held.
+func (r *Ring) Len() int { return r.n }
+
+// Total reports how many samples were ever pushed.
+func (r *Ring) Total() int { return r.total }
+
+// Last returns the most recent sample (0 when empty).
+func (r *Ring) Last() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.vals[(r.head-1+len(r.vals))%len(r.vals)]
+}
+
+// Values returns the held samples oldest-first.
+func (r *Ring) Values() []float64 {
+	out := make([]float64, 0, r.n)
+	start := (r.head - r.n + len(r.vals)) % len(r.vals)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.vals[(start+i)%len(r.vals)])
+	}
+	return out
+}
+
+// Mean averages the last n samples (all when n <= 0 or n > Len).
+func (r *Ring) Mean(n int) float64 {
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.vals[(r.head-1-i+len(r.vals)*2)%len(r.vals)]
+	}
+	return sum / float64(n)
+}
+
+// Max returns the largest held sample (0 when empty).
+func (r *Ring) Max() float64 {
+	var mx float64
+	for i, v := range r.Values() {
+		if i == 0 || v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Digest is a streaming percentile sketch for stage latencies:
+// observations land in geometrically growing buckets (×digestGrowth
+// from digestBase), so quantile queries cost O(buckets), memory is
+// constant, and — unlike a sampling sketch — results are deterministic,
+// which the equal-seed replay tests require.
+const (
+	digestBase    = 1e-6 // 1 µs, in seconds
+	digestGrowth  = 1.25
+	digestBuckets = 128 // covers up to ~2.6e6 s
+)
+
+type Digest struct {
+	counts [digestBuckets]int64
+	n      int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func digestBucket(v float64) int {
+	if v <= digestBase {
+		return 0
+	}
+	i := int(math.Log(v/digestBase)/math.Log(digestGrowth)) + 1
+	if i >= digestBuckets {
+		i = digestBuckets - 1
+	}
+	return i
+}
+
+// Observe records one latency (seconds; negatives clamp to 0).
+func (d *Digest) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	d.counts[digestBucket(v)]++
+	if d.n == 0 || v < d.min {
+		d.min = v
+	}
+	if d.n == 0 || v > d.max {
+		d.max = v
+	}
+	d.n++
+	d.sum += v
+}
+
+// ObserveDuration records one latency.
+func (d *Digest) ObserveDuration(dur time.Duration) { d.Observe(dur.Seconds()) }
+
+// Count returns the number of observations.
+func (d *Digest) Count() int64 { return d.n }
+
+// Mean returns the mean observation (0 when empty).
+func (d *Digest) Mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// Min and Max return the observed extremes.
+func (d *Digest) Min() float64 { return d.min }
+func (d *Digest) Max() float64 { return d.max }
+
+// Quantile returns an upper bound on the q-th quantile (q in [0,1]):
+// the upper edge of the bucket holding that rank, clamped to the
+// observed max.
+func (d *Digest) Quantile(q float64) float64 {
+	if d.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(d.n-1))
+	var seen int64
+	for i, c := range d.counts {
+		seen += c
+		if seen > rank {
+			var hi float64
+			if i == 0 {
+				hi = digestBase
+			} else {
+				hi = digestBase * math.Pow(digestGrowth, float64(i))
+			}
+			if hi > d.max {
+				hi = d.max
+			}
+			return hi
+		}
+	}
+	return d.max
+}

@@ -1,0 +1,39 @@
+package monitor
+
+import (
+	"encoding/json"
+
+	"esgrid/internal/esgrpc"
+	"esgrid/internal/gsi"
+)
+
+// AlertsRequest asks for alerts from index Since on; the reply carries
+// the new alerts plus the next index to poll from.
+type AlertsRequest struct {
+	Since int `json:"since"`
+}
+
+// AlertsReply is the mon.alerts response.
+type AlertsReply struct {
+	Alerts []Alert `json:"alerts"`
+	Next   int     `json:"next"`
+}
+
+// RegisterRPC exposes the monitor on an esgrpc server under "mon.*":
+// mon.snapshot returns the full dashboard state, mon.alerts tails the
+// alert stream incrementally (the esgmon live view polls both).
+func (m *Monitor) RegisterRPC(srv *esgrpc.Server) {
+	srv.Handle("mon.snapshot", func(_ *gsi.Peer, _ json.RawMessage) (any, error) {
+		return m.Snapshot(m.Now()), nil
+	})
+	srv.Handle("mon.alerts", func(_ *gsi.Peer, params json.RawMessage) (any, error) {
+		var req AlertsRequest
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &req); err != nil {
+				return nil, err
+			}
+		}
+		as := m.AlertsSince(req.Since)
+		return AlertsReply{Alerts: as, Next: req.Since + len(as)}, nil
+	})
+}

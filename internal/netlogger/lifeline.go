@@ -341,7 +341,13 @@ func (l *Log) ULM() string {
 
 // JSONL renders the event log as one JSON object per line with fixed
 // keys (ts, host, event, fields). Map keys are emitted sorted by
-// encoding/json, so equal logs serialize identically.
+// encoding/json, so equal logs serialize identically. The export is
+// canonical: lines are ordered by timestamp, and events sharing an
+// instant (goroutines woken by the same simulated event emit at the
+// same virtual time, in whichever order the Go scheduler ran them) are
+// tie-broken by their encoded form — equal-seed runs therefore export
+// byte-identical streams, the property the determinism and
+// pure-observer golden tests compare.
 func (l *Log) JSONL() string {
 	type rec struct {
 		TS     string            `json:"ts"`
@@ -349,15 +355,33 @@ func (l *Log) JSONL() string {
 		Event  string            `json:"event"`
 		Fields map[string]string `json:"fields,omitempty"`
 	}
-	var b strings.Builder
-	enc := json.NewEncoder(&b)
-	for _, ev := range l.Events() {
-		_ = enc.Encode(rec{
+	events := l.Events()
+	type row struct {
+		t    time.Time
+		line []byte
+	}
+	rows := make([]row, len(events))
+	for i, ev := range events {
+		line, _ := json.Marshal(rec{
 			TS:     ev.Time.UTC().Format(time.RFC3339Nano),
 			Host:   ev.Host,
 			Event:  ev.Name,
 			Fields: ev.Fields,
 		})
+		rows[i] = row{t: ev.Time, line: line}
+	}
+	// Append order is already time-ordered (one clock, monotone), so
+	// the stable sort only reorders equal-instant runs.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if !rows[i].t.Equal(rows[j].t) {
+			return rows[i].t.Before(rows[j].t)
+		}
+		return string(rows[i].line) < string(rows[j].line)
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		b.Write(r.line)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

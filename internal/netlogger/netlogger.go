@@ -36,10 +36,22 @@ type Log struct {
 
 	mu     sync.Mutex
 	events []Event
+	subs   []func(Event)
 }
 
 // NewLog returns an empty log stamping events with clk.
 func NewLog(clk vtime.Clock) *Log { return &Log{clk: clk} }
+
+// Subscribe registers fn to receive every subsequently emitted event.
+// Delivery is synchronous, on the emitting goroutine, in exact log-append
+// order — the hook an online consumer (the monitor plane) needs to see
+// the stream as it happens rather than post-hoc. fn must be fast and must
+// not call Emit (the log's lock is held during delivery).
+func (l *Log) Subscribe(fn func(Event)) {
+	l.mu.Lock()
+	l.subs = append(l.subs, fn)
+	l.mu.Unlock()
+}
 
 // Emit appends an event. kv is alternating key, value pairs; a trailing
 // key with no value is recorded with an empty value.
@@ -57,6 +69,9 @@ func (l *Log) Emit(host, name string, kv ...string) {
 	}
 	l.mu.Lock()
 	l.events = append(l.events, ev)
+	for _, fn := range l.subs {
+		fn(ev)
+	}
 	l.mu.Unlock()
 }
 

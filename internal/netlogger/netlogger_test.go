@@ -32,6 +32,38 @@ func TestLogEmitAndQuery(t *testing.T) {
 	})
 }
 
+func TestLogSubscribe(t *testing.T) {
+	clk := vtime.NewSim(9)
+	clk.Run(func() {
+		l := NewLog(clk)
+		l.Emit("dal01", "before.subscribe")
+		var got []Event
+		l.Subscribe(func(ev Event) { got = append(got, ev) })
+		l.Emit("dal01", "a", "k", "1")
+		clk.Sleep(time.Second)
+		l.Emit("lbl01", "b")
+		if len(got) != 2 {
+			t.Fatalf("delivered = %d, want 2 (pre-subscribe event excluded)", len(got))
+		}
+		if got[0].Name != "a" || got[0].Fields["k"] != "1" {
+			t.Fatalf("first delivery = %+v", got[0])
+		}
+		if got[1].Name != "b" || got[1].Host != "lbl01" {
+			t.Fatalf("second delivery = %+v", got[1])
+		}
+		if d := got[1].Time.Sub(got[0].Time); d != time.Second {
+			t.Fatalf("timestamp delta = %v", d)
+		}
+		// Both subscribers see every event, in append order.
+		var n int
+		l.Subscribe(func(Event) { n++ })
+		l.Emit("dal01", "c")
+		if len(got) != 3 || n != 1 {
+			t.Fatalf("fanout: got=%d n=%d", len(got), n)
+		}
+	})
+}
+
 func TestMeterRates(t *testing.T) {
 	clk := vtime.NewSim(2)
 	clk.Run(func() {

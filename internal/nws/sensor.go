@@ -1,11 +1,13 @@
 package nws
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"esgrid/internal/mds"
+	"esgrid/internal/netlogger"
 	"esgrid/internal/vtime"
 )
 
@@ -37,6 +39,8 @@ type Sensor struct {
 	period time.Duration
 
 	mu      sync.Mutex
+	log     *netlogger.Log
+	host    string
 	pairs   []pair
 	state   map[[2]string]*pairState
 	stopped bool
@@ -46,10 +50,11 @@ type Sensor struct {
 type pair struct{ from, to string }
 
 type pairState struct {
-	bw      *Adaptive
-	lat     *Adaptive
-	history []float64
-	lastAt  time.Time
+	bw       *Adaptive
+	lat      *Adaptive
+	history  []float64
+	lastAt   time.Time
+	failures int // consecutive probe errors; reset on success
 }
 
 // NewSensor creates a sensor taking a measurement of every registered
@@ -60,6 +65,29 @@ func NewSensor(clk vtime.Clock, prober Prober, pub Publisher, period time.Durati
 		state:  map[[2]string]*pairState{},
 		stopCh: make(chan struct{}),
 	}
+}
+
+// Instrument routes probe-failure events into log, attributed to host
+// (the site running the sensor). Probe errors were previously dropped on
+// the floor; with a log attached every failure emits an nws.probe.error
+// event carrying the pair, the error, and the consecutive-failure count,
+// so an online consumer can tell a transient blip from a dead sensor.
+func (s *Sensor) Instrument(log *netlogger.Log, host string) {
+	s.mu.Lock()
+	s.log = log
+	s.host = host
+	s.mu.Unlock()
+}
+
+// Failures returns the consecutive probe-error count for a pair (zeroed
+// by any successful measurement).
+func (s *Sensor) Failures(from, to string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.state[[2]string{from, to}]; st != nil {
+		return st.failures
+	}
+	return 0
 }
 
 // Watch registers a directed pair for measurement.
@@ -109,7 +137,21 @@ func (s *Sensor) loop() {
 func (s *Sensor) measureOnce(p pair) {
 	bw, lat, err := s.prober.Probe(p.from, p.to)
 	if err != nil {
-		return // transient failure (e.g. DNS outage): skip this round
+		s.mu.Lock()
+		st := s.state[[2]string{p.from, p.to}]
+		var n int
+		if st != nil {
+			st.failures++
+			n = st.failures
+		}
+		log, host := s.log, s.host
+		s.mu.Unlock()
+		if log != nil {
+			log.Emit(host, "nws.probe.error",
+				"from", p.from, "to", p.to,
+				"err", err.Error(), "consecutive", fmt.Sprint(n))
+		}
+		return
 	}
 	now := s.clk.Now()
 	s.mu.Lock()
@@ -118,6 +160,7 @@ func (s *Sensor) measureOnce(p pair) {
 		s.mu.Unlock()
 		return
 	}
+	st.failures = 0
 	st.bw.Observe(bw)
 	st.lat.Observe(float64(lat))
 	st.history = append(st.history, bw)

@@ -131,6 +131,12 @@ type Config struct {
 	MinRateBps float64
 	// MaxConcurrent bounds simultaneously transferring files (0 = no cap).
 	MaxConcurrent int
+	// HealthRank, when true, folds the monitor plane's published
+	// HostHealth/PathHealth verdicts into PolicyNWS ranking: forecasts to
+	// replicas the monitor marked degraded are discounted and replicas
+	// marked down are ranked last. Off by default so the monitor stays a
+	// pure observer.
+	HealthRank bool
 	// Rand supplies randomness for PolicyRandom (defaults to a fixed
 	// sequence when nil).
 	Rand func() float64
@@ -392,6 +398,9 @@ func (m *Manager) rankReplicas(locs []replica.Location) []candidate {
 			if f, err := m.cfg.Info.Forecast(l.Host, m.cfg.LocalHost); err == nil {
 				cands[i].forecast = f.BandwidthBps
 			}
+			if m.cfg.HealthRank {
+				cands[i].forecast *= m.healthFactor(l.Host)
+			}
 		}
 	}
 	switch m.cfg.Policy {
@@ -413,6 +422,32 @@ func (m *Manager) rankReplicas(locs []replica.Location) []candidate {
 		// catalog order
 	}
 	return cands
+}
+
+// healthFactor maps the monitor's published verdict on a replica host
+// (and the path from it to us) to a forecast multiplier: down → 0,
+// degraded → 0.25, ok or unpublished → 1. The worse of the host and path
+// verdicts wins.
+func (m *Manager) healthFactor(host string) float64 {
+	status := func(s string) float64 {
+		switch s {
+		case mds.HealthDown:
+			return 0
+		case mds.HealthDegraded:
+			return 0.25
+		}
+		return 1
+	}
+	f := 1.0
+	if hh, err := m.cfg.Info.HostHealthFor(host); err == nil {
+		f = status(hh.Status)
+	}
+	if ph, err := m.cfg.Info.PathHealthFor(host, m.cfg.LocalHost); err == nil {
+		if pf := status(ph.Status); pf < f {
+			f = pf
+		}
+	}
+	return f
 }
 
 // runFile drives one file through the §4 pipeline.
@@ -480,7 +515,7 @@ func (m *Manager) transferFile(req *Request, fs *fileState) error {
 	for ci := 0; ci < len(cands) && attempt < m.cfg.MaxAttempts; ci++ {
 		cand := cands[ci]
 		if attempt > 0 && m.cfg.RetryBackoff > 0 {
-			rs := fs.span.Child(netlogger.StageRetry, "rm.backoff")
+			rs := fs.span.Child(netlogger.StageRetry, "rm.backoff", "file", fs.Name)
 			m.cfg.Clock.Sleep(m.cfg.RetryBackoff)
 			rs.Finish()
 		}
@@ -507,7 +542,7 @@ func (m *Manager) tryReplica(req *Request, fs *fileState, cand candidate, attemp
 		m.cfg.Metrics.Counter("rm.retries").Inc()
 	}
 	asp := fs.span.Child("", "rm.attempt",
-		"n", fmt.Sprint(*attempt), "replica", cand.loc.Host)
+		"n", fmt.Sprint(*attempt), "replica", cand.loc.Host, "file", fs.Name)
 	defer asp.Finish()
 	req.mu.Lock()
 	fs.Replica = cand.loc.Host
@@ -518,7 +553,7 @@ func (m *Manager) tryReplica(req *Request, fs *fileState, cand candidate, attemp
 		req.mu.Lock()
 		fs.State = StateStaging
 		req.mu.Unlock()
-		tape := asp.Child(netlogger.StageTape, "rm.stage", "host", cand.loc.Host)
+		tape := asp.Child(netlogger.StageTape, "rm.stage", "host", cand.loc.Host, "file", fs.Name)
 		if err := m.stage(cand.loc.Host, fs.Name, tape.Context()); err != nil {
 			tape.Annotate("err", err.Error())
 			tape.Finish()
@@ -658,11 +693,20 @@ func (m *Manager) monitor(req *Request, fs *fileState, sink gridftp.Sink, stop <
 		req.mu.Lock()
 		fs.RateBps = rate
 		cli := fs.client
+		replica := fs.Replica
 		shouldAbort := violations >= violationsToAbort && cli != nil && !fs.abort
 		if shouldAbort {
 			fs.abort = true
 		}
 		req.mu.Unlock()
+		if m.cfg.Log != nil {
+			// Structured progress sample, one per monitor interval. Emitted
+			// whether or not anything is consuming it, so an instrumented
+			// (monitored) run and a bare run produce identical event streams.
+			m.cfg.Log.Emit(m.cfg.LocalHost, "rm.progress",
+				"file", fs.Name, "replica", replica,
+				"received", fmt.Sprint(cur), "ratebps", fmt.Sprintf("%.0f", rate))
+		}
 		if shouldAbort {
 			m.emit(req, "%s: rate %.1f Mb/s below threshold; aborting for alternate replica", fs.Name, rate/1e6)
 			cli.Close() // unblocks the transfer with an error

@@ -584,3 +584,69 @@ func TestRequestTracing(t *testing.T) {
 		}
 	})
 }
+
+// TestHealthRankDownRanksUnhealthyReplica: the monitor plane published a
+// "down" verdict on the forecast-best replica; with HealthRank on the RM
+// must fall back to the healthy one, and with the flag off (the default)
+// published health must change nothing.
+func TestHealthRankDownRanksUnhealthyReplica(t *testing.T) {
+	run := func(healthRank bool) string {
+		g := buildGrid(t, 31)
+		var chosen string
+		g.clk.Run(func() {
+			g.startServers(t)
+			g.startNWS()
+			if err := g.info.PublishHostHealth(mds.HostHealth{
+				Host: "fast", Status: mds.HealthDown, Updated: g.clk.Now(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			m := g.manager(t, func(c *Config) { c.HealthRank = healthRank })
+			req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-01.nc"}})
+			if err := req.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			chosen = req.Status()[0].Replica
+		})
+		return chosen
+	}
+	if got := run(true); got != "slow" {
+		t.Fatalf("HealthRank on: chose %q, want slow", got)
+	}
+	if got := run(false); got != "fast" {
+		t.Fatalf("HealthRank off: chose %q, want fast", got)
+	}
+}
+
+// TestHealthRankDegradedPath: a degraded verdict discounts the forecast
+// (×0.25) rather than zeroing it, so a much-faster replica survives
+// degradation (622×0.25 still beats 45), while a "down" path verdict
+// excludes it outright.
+func TestHealthRankDegradedPath(t *testing.T) {
+	run := func(status string) string {
+		g := buildGrid(t, 32)
+		var chosen string
+		g.clk.Run(func() {
+			g.startServers(t)
+			g.startNWS()
+			if err := g.info.PublishPathHealth(mds.PathHealth{
+				From: "fast", To: "desk", Status: status, Updated: g.clk.Now(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			m := g.manager(t, func(c *Config) { c.HealthRank = true })
+			req, _ := m.Submit("u", "pcm-monthly", []FileRequest{{Name: "pcm.tas.1998-01.nc"}})
+			if err := req.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			chosen = req.Status()[0].Replica
+		})
+		return chosen
+	}
+	if got := run(mds.HealthDegraded); got != "fast" {
+		t.Fatalf("degraded path: chose %q, want fast (discount must not exclude)", got)
+	}
+	if got := run(mds.HealthDown); got != "slow" {
+		t.Fatalf("down path: chose %q, want slow", got)
+	}
+}

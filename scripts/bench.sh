@@ -1,0 +1,34 @@
+#!/bin/sh
+# Benchmark snapshot: run every Go benchmark in the repo once and write
+# a machine-readable summary (benchmark name -> ns/op, allocs/op) so CI
+# can archive per-PR performance baselines and diffs stay reviewable.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR4.json)
+set -eu
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_PR4.json}
+
+raw=$(go test -run '^$' -bench . -benchmem -benchtime=1x ./... 2>&1) || {
+    printf '%s\n' "$raw"
+    exit 1
+}
+printf '%s\n' "$raw" | grep -E '^Benchmark' || true
+
+printf '%s\n' "$raw" | awk -v out="$out" '
+/^Benchmark/ {
+    name = $1
+    ns = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns != "") {
+        if (n++) body = body ",\n"
+        body = body sprintf("  %c%s%c: {%cns_per_op%c: %s, %callocs_per_op%c: %s}", \
+            34, name, 34, 34, 34, ns, 34, 34, (allocs == "" ? "0" : allocs))
+    }
+}
+END {
+    printf "{\n%s\n}\n", body > out
+    printf "wrote %d benchmark(s) to %s\n", n, out
+}'
