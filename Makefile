@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json cover fuzz-smoke check
+.PHONY: all build vet lint test race bench-smoke bench bench-json cover fuzz-smoke check
 
 all: check
 
@@ -11,6 +11,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# esglint: the repo's own determinism / virtual-time analyzers
+# (internal/lint, DESIGN.md §10). Must exit 0 on the whole tree.
+lint:
+	$(GO) run ./cmd/esglint ./...
 
 test:
 	$(GO) test ./...
@@ -42,4 +47,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzControlChannel -fuzztime=10s -run '^$$' ./internal/gridftp/
 	$(GO) test -fuzz=FuzzFilter -fuzztime=10s -run '^$$' ./internal/ldapd/
 
-check: build vet race bench-smoke fuzz-smoke
+check: build vet lint race bench-smoke fuzz-smoke

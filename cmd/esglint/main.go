@@ -1,0 +1,61 @@
+// Command esglint runs the repo's determinism and virtual-time
+// analyzers (internal/lint) over the tree, vet-style:
+//
+//	esglint [-only name,name] [packages]
+//
+// Patterns default to ./... resolved in the current directory. Exit
+// status is 1 when any diagnostic is reported, 2 on load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"esgrid/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All {
+			esc := "(no escape)"
+			if a.Escape != "" {
+				esc = "escape //esglint:" + a.Escape
+			}
+			fmt.Printf("%-12s %s — %s\n", a.Name, esc, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range lint.All {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "esglint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	n, err := lint.Run(".", flag.Args(), analyzers, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esglint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "esglint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

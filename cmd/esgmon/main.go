@@ -154,6 +154,6 @@ func live(addr string, interval time.Duration, once, alertsOnly bool, width int,
 		if once {
 			return nil
 		}
-		time.Sleep(interval)
+		time.Sleep(interval) //esglint:wallclock live tail paces real polls of a running daemon
 	}
 }

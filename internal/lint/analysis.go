@@ -1,0 +1,124 @@
+// Package lint is esglint: a suite of static analyzers that enforce the
+// repo's determinism and virtual-time invariants at vet time instead of
+// by convention. Every headline result — byte-identical equal-seed JSONL
+// exports, replay-seed chaos soaks, life-line traces on the virtual
+// clock — rests on three invariants:
+//
+//  1. simulated paths read only the virtual clock (vtimeclock),
+//  2. randomness is explicitly seeded and threaded from config
+//     (seededrand),
+//  3. anything folded into the emitted event stream is canonically
+//     ordered (maprange) and structurally well-formed (emitkv).
+//
+// The analyzers are written against a small in-repo kernel whose API
+// deliberately mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, analysistest-style want comments), so that swapping the
+// kernel for the upstream module is a mechanical change; the repo's
+// stdlib-only constraint is kept intact (see DESIGN.md §10).
+//
+// Escape hatch: a comment of the form
+//
+//	//esglint:<name> <reason>
+//
+// on the flagged line or the line directly above suppresses the analyzer
+// whose escape is <name> (e.g. //esglint:wallclock real elapsed time for
+// the operator). The reason is mandatory: an escape with no reason does
+// not suppress and is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "vtimeclock"
+	Doc  string // one-paragraph description of what it reports
+
+	// Escape, when non-empty, names the //esglint:<Escape> annotation
+	// that suppresses this analyzer's diagnostics on the annotated line
+	// (reason required). Empty means the analyzer has no escape hatch.
+	Escape string
+
+	// Run reports diagnostics on pass via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // package import path
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos attributed to the running analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that made it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyze runs the given analyzers over pkg, applies annotation escapes,
+// and returns the surviving diagnostics in (file, line, column, analyzer)
+// order. Escapes with a missing reason, and esglint annotations that name
+// no known escape, are reported as diagnostics from the pseudo-analyzer
+// "esglint".
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	anns := collectAnnotations(pkg.Fset, pkg.Files)
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	diags = suppress(pkg.Fset, diags, analyzers, anns)
+	diags = append(diags, auditAnnotations(anns, analyzers)...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,36 @@
+package lint
+
+import "testing"
+
+func TestVTimeClock(t *testing.T) {
+	RunAnalyzer(t, "testdata", "wallclock", VTimeClock)
+}
+
+func TestVTimeClockExemptsVtime(t *testing.T) {
+	RunAnalyzer(t, "testdata", "esgrid/internal/vtime", VTimeClock)
+}
+
+func TestSeededRand(t *testing.T) {
+	RunAnalyzer(t, "testdata", "seeded", SeededRand)
+}
+
+func TestEmitKV(t *testing.T) {
+	RunAnalyzer(t, "testdata", "emitcalls", EmitKV)
+}
+
+func TestEmitKVIgnoresFixtureDefinitions(t *testing.T) {
+	// The fake netlogger package itself contains no kv call sites.
+	RunAnalyzer(t, "testdata", "esgrid/internal/netlogger", EmitKV)
+}
+
+func TestMapRange(t *testing.T) {
+	RunAnalyzer(t, "testdata", "esgrid/internal/monitor", MapRange)
+}
+
+func TestMapRangeIgnoresUnorderedPackages(t *testing.T) {
+	RunAnalyzer(t, "testdata", "plainpkg", MapRange)
+}
+
+func TestMutexCopy(t *testing.T) {
+	RunAnalyzer(t, "testdata", "mutexcopy", MutexCopy)
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An annotation is one //esglint:<name> <reason> comment.
+type annotation struct {
+	Name   string
+	Reason string
+	Pos    token.Pos
+	File   string
+	Line   int
+}
+
+const annotationPrefix = "//esglint:"
+
+// collectAnnotations scans every comment in files for esglint escape
+// annotations, keyed by (filename, line).
+func collectAnnotations(fset *token.FileSet, files []*ast.File) map[string]map[int]annotation {
+	out := map[string]map[int]annotation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annotationPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, annotationPrefix)
+				// Fixture files pair annotations with analysistest
+				// want-comments in the same comment text; those are
+				// never part of the reason.
+				rest, _, _ = strings.Cut(rest, "// want")
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]annotation{}
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = annotation{
+					Name:   name,
+					Reason: strings.TrimSpace(reason),
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics whose analyzer's escape annotation (with a
+// non-empty reason) sits on the flagged line or the line directly above.
+func suppress(fset *token.FileSet, diags []Diagnostic, analyzers []*Analyzer, anns map[string]map[int]annotation) []Diagnostic {
+	escapes := map[string]string{} // analyzer name -> escape name
+	for _, a := range analyzers {
+		if a.Escape != "" {
+			escapes[a.Name] = a.Escape
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		esc, ok := escapes[d.Analyzer]
+		if !ok {
+			out = append(out, d)
+			continue
+		}
+		pos := fset.Position(d.Pos)
+		byLine := anns[pos.Filename]
+		suppressed := false
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			if a, ok := byLine[line]; ok && a.Name == esc && a.Reason != "" {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// auditAnnotations reports escapes that carry no reason and annotations
+// that name no escape known to the analyzer set.
+func auditAnnotations(anns map[string]map[int]annotation, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Escape != "" {
+			known[a.Escape] = true
+		}
+	}
+	var out []Diagnostic
+	for _, byLine := range anns {
+		for _, a := range byLine {
+			switch {
+			case !known[a.Name]:
+				out = append(out, Diagnostic{
+					Pos:      a.Pos,
+					Analyzer: "esglint",
+					Message:  "unknown esglint annotation esglint:" + a.Name,
+				})
+			case a.Reason == "":
+				out = append(out, Diagnostic{
+					Pos:      a.Pos,
+					Analyzer: "esglint",
+					Message:  "esglint:" + a.Name + " annotation requires a reason",
+				})
+			}
+		}
+	}
+	return out
+}

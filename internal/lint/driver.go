@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// All is the esglint analyzer suite, in reporting order.
+var All = []*Analyzer{VTimeClock, SeededRand, EmitKV, MapRange, MutexCopy}
+
+// Run loads the packages matched by patterns (relative to dir) and runs
+// the analyzers over every non-test file, writing one
+// "path:line:col: message (analyzer)" line per finding to w. It returns
+// the number of findings; a load or type-check failure is an error.
+func Run(dir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := LoadPackages(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	absDir, _ := filepath.Abs(dir)
+	n := 0
+	for _, pkg := range pkgs {
+		diags, err := Analyze(pkg, analyzers)
+		if err != nil {
+			return n, err
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(absDir, name); err == nil && filepath.IsLocal(rel) {
+				name = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, pos.Line, pos.Column, d.Message, d.Analyzer)
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// EmitKV is a printf-style checker for netlogger's variadic key/value
+// surfaces: (*Log).Emit, (*Span).Annotate, and any future netlogger
+// function whose final parameter is `kv ...string`. PR 2 fixed a silent
+// odd-arity drop at runtime; this catches the same defect — plus
+// non-constant keys and duplicate keys, which corrupt or shadow fields
+// in the exported event stream — at vet time.
+var EmitKV = &Analyzer{
+	Name:   "emitkv",
+	Doc:    "check netlogger kv call sites: even arity, constant string keys, no duplicates",
+	Escape: "kv",
+	Run:    runEmitKV,
+}
+
+func runEmitKV(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/netlogger") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || !sig.Variadic() || sig.Params().Len() == 0 {
+				return true
+			}
+			last := sig.Params().At(sig.Params().Len() - 1)
+			if last.Name() != "kv" {
+				return true
+			}
+			if slice, ok := last.Type().(*types.Slice); !ok || !types.Identical(slice.Elem(), types.Typ[types.String]) {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				// kv... forwards an existing slice; arity is the
+				// caller's responsibility (typically another checked
+				// kv site).
+				return true
+			}
+			fixed := sig.Params().Len() - 1
+			if len(call.Args) < fixed {
+				return true // type error; the build catches it
+			}
+			kv := call.Args[fixed:]
+			if len(kv)%2 != 0 {
+				pass.Reportf(call.Pos(),
+					"odd number of kv arguments (%d) to %s.%s; keys and values must pair up",
+					len(kv), fn.Pkg().Name(), fn.Name())
+			}
+			seen := map[string]bool{}
+			for i := 0; i < len(kv); i += 2 {
+				tv, ok := pass.Info.Types[kv[i]]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					pass.Reportf(kv[i].Pos(),
+						"kv key in position %d of %s.%s is not a constant string; field names must be statically checkable",
+						i, fn.Pkg().Name(), fn.Name())
+					continue
+				}
+				key := constant.StringVal(tv.Value)
+				if seen[key] {
+					pass.Reportf(kv[i].Pos(),
+						"duplicate kv key %q in %s.%s call; the later value silently wins",
+						key, fn.Pkg().Name(), fn.Name())
+				}
+				seen[key] = true
+			}
+			return true
+		})
+	}
+	return nil
+}

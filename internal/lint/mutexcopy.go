@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy is the suite's hygiene pass: an in-repo reimplementation of
+// the essentials of vet's copylocks (the stock pass lives in
+// golang.org/x/tools, which this repo deliberately does not depend on —
+// DESIGN.md §10). A copied lock guards nothing: the copy and the
+// original serialize independently, which in this codebase means
+// event-stream appends and series rings silently lose their mutual
+// exclusion. It flags values whose type transitively holds a lock
+// (pointer-receiver Lock/Unlock, e.g. sync.Mutex, sync.WaitGroup, or
+// any struct embedding one) being
+//
+//   - received or passed by value (receivers, params, call arguments),
+//   - copied by assignment from an existing value, or
+//   - copied per-iteration by a range statement.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flag locks copied by value (copylocks essentials, stdlib-only)",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(pass, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkFieldList(pass, n.Type.Params, "parameter")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isBlankIdent(n.Lhs[i]) {
+						continue
+					}
+					checkCopiedExpr(pass, rhs, "assignment copies")
+				}
+			case *ast.RangeStmt:
+				if v := n.Value; v != nil && !isBlankIdent(v) {
+					if t := typeOf(pass, v); t != nil {
+						if lock := lockIn(t); lock != "" {
+							pass.Reportf(v.Pos(), "range value copies lock: %s contains %s", t, lock)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopiedExpr(pass, v, "variable declaration copies")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopiedExpr(pass, r, "return copies")
+				}
+			case *ast.CallExpr:
+				// Methods reach their receiver through a pointer
+				// automatically; only argument positions can copy.
+				for _, arg := range n.Args {
+					checkCopiedExpr(pass, arg, "call passes")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFieldList flags by-value lock types among params or receivers.
+func checkFieldList(pass *Pass, fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := typeOf(pass, field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := lockIn(t); lock != "" {
+			pass.Reportf(field.Pos(), "%s passes lock by value: %s contains %s", what, t, lock)
+		}
+	}
+}
+
+// checkCopiedExpr flags expr when it copies an existing lock-bearing
+// value. Fresh values (composite literals, conversions of literals) and
+// pointers are fine.
+func checkCopiedExpr(pass *Pass, expr ast.Expr, what string) {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := typeOf(pass, expr)
+	if t == nil {
+		return
+	}
+	if lock := lockIn(t); lock != "" {
+		pass.Reportf(expr.Pos(), "%s lock by value: %s contains %s", what, t, lock)
+	}
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// lockIn returns the name of a lock type held (by value) inside t, or
+// "" if t is safely copyable. A type is a lock when its pointer method
+// set has Lock and Unlock but its value method set does not — the
+// copylocks criterion, which matches sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once and anything embedding them.
+func lockIn(t types.Type) string {
+	return lockInSeen(t, map[types.Type]bool{})
+}
+
+func lockInSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if isLock(t) {
+		return t.String()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// isLock reports whether *t has pointer-receiver Lock and Unlock
+// methods that t's value method set lacks.
+func isLock(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); ok {
+		return false
+	}
+	ptr := types.NewMethodSet(types.NewPointer(t))
+	val := types.NewMethodSet(t)
+	hasPtr := func(name string) bool {
+		sel := ptr.Lookup(nil, name)
+		return sel != nil && sel.Obj() != nil
+	}
+	hasVal := func(name string) bool {
+		sel := val.Lookup(nil, name)
+		return sel != nil && sel.Obj() != nil
+	}
+	return hasPtr("Lock") && hasPtr("Unlock") && !hasVal("Lock")
+}

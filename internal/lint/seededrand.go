@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the process-global math/rand state in non-test
+// code. Replay-seed chaos soaks and equal-seed determinism tests depend
+// on every random draw flowing from an explicitly seeded *rand.Rand
+// threaded down from config (the pattern internal/chaos/random.go and
+// internal/vtime/sim.go already follow); the package-level functions
+// draw from a shared source whose consumption order depends on
+// goroutine scheduling.
+var SeededRand = &Analyzer{
+	Name:   "seededrand",
+	Doc:    "forbid math/rand package-level functions; require a seeded *rand.Rand",
+	Escape: "rand",
+	Run:    runSeededRand,
+}
+
+// randConstructors are the math/rand{,/v2} functions that build an
+// explicitly seeded source or operate on one, and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes *rand.Rand
+	"NewPCG":     true, // rand/v2
+	"NewChaCha8": true, // rand/v2
+}
+
+func runSeededRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand / Source are fine — only the
+			// package-level globals share hidden state.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the process-global source; thread an explicitly seeded *rand.Rand from config",
+				path, fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package clean violates nothing; the driver must report zero findings
+// for it.
+package clean
+
+import "sort"
+
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

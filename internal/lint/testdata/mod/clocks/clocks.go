@@ -1,0 +1,24 @@
+// Package clocks injects one violation of each process-global invariant
+// (wall clock, unseeded randomness) for the driver test.
+package clocks
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClock() time.Time {
+	return time.Now() // injected vtimeclock violation
+}
+
+func Annotated() time.Time {
+	return time.Now() //esglint:wallclock injected escape with a reason; must be suppressed
+}
+
+func MissingReason() time.Time {
+	return time.Now() //esglint:wallclock
+}
+
+func GlobalRand() int {
+	return rand.Intn(6) // injected seededrand violation
+}

@@ -1,0 +1,21 @@
+// Package monitor sits on the ordered-output suffix list and injects an
+// unsorted map-range and an odd-arity Emit for the driver test.
+package monitor
+
+import (
+	"strconv"
+
+	"lintmod/internal/netlogger"
+)
+
+func Fold(m map[string]int) string {
+	s := ""
+	for k, v := range m { // injected maprange violation
+		s += k + strconv.Itoa(v)
+	}
+	return s
+}
+
+func Record(l *netlogger.Log) {
+	l.Emit("h", "ev", "bytes") // injected emitkv violation (odd arity)
+}

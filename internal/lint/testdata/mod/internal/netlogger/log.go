@@ -1,0 +1,7 @@
+// Package netlogger mirrors the real kv surface so the driver test can
+// inject an odd-arity Emit in a sibling package.
+package netlogger
+
+type Log struct{}
+
+func (l *Log) Emit(host, name string, kv ...string) {}

@@ -1,0 +1,13 @@
+// Package locks injects a copied mutex for the driver test.
+package locks
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	N  int
+}
+
+func Snapshot(c *Counter) Counter {
+	return *c // injected mutexcopy violation
+}

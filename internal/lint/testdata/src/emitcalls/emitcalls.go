@@ -1,0 +1,22 @@
+package emitcalls
+
+import "esgrid/internal/netlogger"
+
+const stateKey = "state"
+
+func calls(l *netlogger.Log, sp *netlogger.Span, dyn string, rest []string) {
+	l.Emit("h", "ev")
+	l.Emit("h", "ev", "bytes", "42")
+	l.Emit("h", "ev", stateKey, dyn)
+	l.Emit("h", "ev", "a"+"b", dyn)
+	l.Emit("h", "ev", "bytes")              // want `odd number of kv arguments \(1\)`
+	l.Emit("h", "ev", dyn, "v")             // want `kv key in position 0 .* is not a constant string`
+	l.Emit("h", "ev", "k", "v1", "k", "v2") // want `duplicate kv key "k"`
+	l.Emit("h", "ev", rest...)
+	sp.Annotate("stage", "data", "attempt", "2")
+	sp.Annotate("stage", "data", "stage", "teardown") // want `duplicate kv key "stage"`
+	sp.Annotate("lone")                               // want `odd number of kv arguments \(1\)`
+	netlogger.NotKV("free", "form", "text")
+	//esglint:kv fixture: keys come from a table validated at init
+	l.Emit("h", "ev", dyn, "v")
+}

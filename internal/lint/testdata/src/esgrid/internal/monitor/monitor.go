@@ -1,0 +1,75 @@
+// Fixture standing in for the real internal/monitor: one of the
+// ordered-output packages where map iteration must not leak into
+// emitted state.
+package monitor
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Gather-then-sort is the blessed idiom: collect keys, sort, then fold
+// in canonical order.
+func emitSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k+"="+strconv.Itoa(m[k]))
+	}
+	return out
+}
+
+func emitUnsorted(m map[string]int) string {
+	s := ""
+	for k, v := range m { // want `range over map in ordered-output package`
+		s += k + strconv.Itoa(v)
+	}
+	return s
+}
+
+// Gathering keys without sorting them afterwards is still a leak.
+func gatherNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map in ordered-output package`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A bare range only counts; order cannot leak.
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func escaped(m map[string]int) int {
+	sum := 0
+	//esglint:unordered fixture: integer sum is order-independent
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func missingReason(m map[string]int) {
+	//esglint:unordered // want `esglint:unordered annotation requires a reason`
+	for k := range m { // want `range over map in ordered-output package`
+		_ = k
+	}
+}
+
+// Slices are ordered; only maps are flagged.
+func sliceRange(s []string) string {
+	out := ""
+	for _, v := range s {
+		out += v
+	}
+	return out
+}

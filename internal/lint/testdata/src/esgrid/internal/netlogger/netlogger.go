@@ -1,0 +1,15 @@
+// Fixture standing in for the real internal/netlogger kv surfaces: any
+// function or method here whose final parameter is `kv ...string` is a
+// checked call site for the emitkv analyzer.
+package netlogger
+
+type Log struct{}
+
+func (l *Log) Emit(host, name string, kv ...string) {}
+
+type Span struct{}
+
+func (s *Span) Annotate(kv ...string) {}
+
+// NotKV has a variadic tail that is not a kv list; emitkv must ignore it.
+func NotKV(parts ...string) {}

@@ -1,0 +1,9 @@
+// Fixture standing in for the real internal/vtime: the one package where
+// the wall clock may be read, so vtimeclock must stay silent here.
+package vtime
+
+import "time"
+
+func RealNow() time.Time { return time.Now() }
+
+func RealSleep(d time.Duration) { time.Sleep(d) }

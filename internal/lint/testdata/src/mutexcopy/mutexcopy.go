@@ -1,0 +1,67 @@
+package mutexcopy
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Embeds struct {
+	sync.Mutex
+	n int
+}
+
+func byValue(g Guarded) int { // want `parameter passes lock by value`
+	return g.n
+}
+
+func (g Guarded) valueMethod() int { // want `receiver passes lock by value`
+	return g.n
+}
+
+func waitGroupByValue(wg sync.WaitGroup) { // want `parameter passes lock by value`
+	wg.Wait()
+}
+
+func byPointer(g *Guarded, mu *sync.Mutex) {}
+
+func assigns(g *Guarded) {
+	cp := *g // want `assignment copies lock by value`
+	_ = cp
+	fresh := Guarded{}
+	_ = fresh
+	var mu sync.Mutex
+	mu2 := mu // want `assignment copies lock by value`
+	_ = mu2
+	p := &mu
+	_ = p
+}
+
+func declares(g *Guarded) {
+	var cp = *g // want `variable declaration copies lock by value`
+	_ = cp
+}
+
+func returns(g *Guarded) Guarded {
+	return *g // want `return copies lock by value`
+}
+
+func ranges(gs []Guarded, byName map[string]Embeds) {
+	for i := range gs {
+		gs[i].n++
+	}
+	for _, g := range gs { // want `range value copies lock`
+		_ = g.n
+	}
+	for name, e := range byName { // want `range value copies lock`
+		_, _ = name, e
+	}
+}
+
+func take(any interface{}) {}
+
+func callCopies(g *Guarded) {
+	take(*g) // want `call passes lock by value`
+	take(&g)
+}

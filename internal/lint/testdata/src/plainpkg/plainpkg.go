@@ -1,0 +1,11 @@
+// Fixture for a package outside the ordered-output set: map iteration
+// here is not part of the determinism contract and must not be flagged.
+package plainpkg
+
+func fold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

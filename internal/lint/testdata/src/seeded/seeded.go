@@ -1,0 +1,33 @@
+package seeded
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Intn(6)     // want `math/rand\.Intn draws from the process-global source`
+	_ = rand.Int()       // want `math/rand\.Int draws from the process-global source`
+	_ = rand.Float64()   // want `math/rand\.Float64 draws from the process-global source`
+	_ = rand.Perm(4)     // want `math/rand\.Perm draws from the process-global source`
+	rand.Seed(1)         // want `math/rand\.Seed draws from the process-global source`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand\.Shuffle draws from the process-global source`
+	_ = randv2.IntN(6)   // want `math/rand/v2\.IntN draws from the process-global source`
+}
+
+// An explicitly seeded *rand.Rand, threaded in from config, is the
+// pattern the repo requires (see internal/chaos/random.go).
+func good(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(6)
+	_ = r.Float64()
+	r.Shuffle(3, func(i, j int) {})
+	z := rand.NewZipf(r, 1.1, 1.0, 100)
+	_ = z.Uint64()
+	p := randv2.New(randv2.NewPCG(1, 2))
+	_ = p.IntN(3)
+}
+
+func escaped() int {
+	return rand.Int() //esglint:rand fixture: jitter outside any determinism contract
+}

@@ -1,0 +1,44 @@
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                    // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)           // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Second)         // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)    // want `time\.NewTimer reads the wall clock`
+	_ = time.NewTicker(time.Second)   // want `time\.NewTicker reads the wall clock`
+	_ = time.Tick(time.Second)        // want `time\.Tick reads the wall clock`
+	_ = time.Since(time.Time{})       // want `time\.Since reads the wall clock`
+	_ = time.Until(time.Time{})       // want `time\.Until reads the wall clock`
+	time.AfterFunc(time.Second, bad)  // want `time\.AfterFunc reads the wall clock`
+}
+
+func annotatedSameLine() time.Time {
+	return time.Now() //esglint:wallclock fixture: operator-facing elapsed print
+}
+
+func annotatedLineAbove() time.Time {
+	//esglint:wallclock fixture: annotation on the line above also suppresses
+	return time.Now()
+}
+
+func missingReason() {
+	_ = time.Now() //esglint:wallclock // want `time\.Now reads the wall clock` `esglint:wallclock annotation requires a reason`
+}
+
+func unknownAnnotation() {
+	//esglint:walclock typo in the escape name // want `unknown esglint annotation esglint:walclock`
+	var x int
+	_ = x
+}
+
+// Arithmetic on instants, durations, and parsing never touch the wall
+// clock; only the package-level read/schedule functions do.
+func fine(t, u time.Time, d time.Duration) bool {
+	_ = t.Add(d)
+	_ = t.Sub(u)
+	_ = time.Unix(0, 0)
+	_, _ = time.ParseDuration("3s")
+	return t.After(u) || t.Before(u)
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// VTimeClock forbids wall-clock reads and timers on simulated paths.
+// Every experiment, trace, and chaos soak in this repo runs on
+// vtime.Clock; a stray time.Now or time.Sleep silently couples the
+// event stream to the host scheduler and breaks equal-seed
+// byte-identity. Only internal/vtime — the one place the Real clock is
+// allowed to touch the wall — is exempt. Legitimate wall-timing sites
+// (operator-facing elapsed prints, the scale experiment's wall budget)
+// carry //esglint:wallclock <reason>.
+var VTimeClock = &Analyzer{
+	Name:   "vtimeclock",
+	Doc:    "forbid time.Now/Sleep/After/Since/Tick/NewTimer/NewTicker outside internal/vtime",
+	Escape: "wallclock",
+	Run:    runVTimeClock,
+}
+
+// wallClockFuncs are the package time functions that read the wall
+// clock or schedule on it.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runVTimeClock(pass *Pass) error {
+	if strings.HasSuffix(pass.Path, "internal/vtime") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Methods like Time.After/Time.Sub only do arithmetic on
+			// already-obtained instants; the package-level functions are
+			// the wall-clock reads.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock; simulated paths must use vtime.Clock (or annotate //esglint:wallclock <reason>)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}

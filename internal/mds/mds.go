@@ -11,6 +11,7 @@ package mds
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -119,15 +120,7 @@ func (s *Service) PublishForecast(f NetForecast) error {
 		"errbps":       {formatFloat(f.ErrBps)},
 		"measured":     {f.Measured.UTC().Format(time.RFC3339Nano)},
 	}
-	err := s.dir.Add(dn, vals)
-	if isExists(err) {
-		mods := make([]ldapd.Mod, 0, len(vals))
-		for k, v := range vals {
-			mods = append(mods, ldapd.Mod{Op: ldapd.ModReplace, Attr: k, Values: v})
-		}
-		return s.dir.Modify(dn, mods)
-	}
-	return err
+	return s.upsert(dn, vals)
 }
 
 // Forecast retrieves the forecast for a directed pair, or an error if no
@@ -249,9 +242,17 @@ func (s *Service) PublishPathHealth(p PathHealth) error {
 func (s *Service) upsert(dn string, vals map[string][]string) error {
 	err := s.dir.Add(dn, vals)
 	if isExists(err) {
+		// Replace attributes in sorted order so the directory's mod
+		// sequence — and any event stream folded from it — does not
+		// depend on map iteration order.
+		attrs := make([]string, 0, len(vals))
+		for k := range vals {
+			attrs = append(attrs, k)
+		}
+		sort.Strings(attrs)
 		mods := make([]ldapd.Mod, 0, len(vals))
-		for k, v := range vals {
-			mods = append(mods, ldapd.Mod{Op: ldapd.ModReplace, Attr: k, Values: v})
+		for _, k := range attrs {
+			mods = append(mods, ldapd.Mod{Op: ldapd.ModReplace, Attr: k, Values: vals[k]})
 		}
 		return s.dir.Modify(dn, mods)
 	}

@@ -365,8 +365,17 @@ func (m *Monitor) tickLocked(at time.Time) {
 		h.active = actives[name]
 	}
 	// New hosts appear in series the tick after their first event; the
-	// host() call below registers them.
+	// host() call below registers them. Registration appends to hOrder,
+	// which fixes snapshot and dashboard row order for the rest of the
+	// run — so the names must be visited in sorted order, not map order,
+	// or two hosts first seen on the same tick would land in hOrder (and
+	// every exported snapshot) in a run-dependent order.
+	names := make([]string, 0, len(sums))
 	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if _, ok := m.hosts[name]; !ok {
 			m.host(name).goodput.Push(sums[name])
 		}

@@ -231,6 +231,7 @@ func (a TraceAnalysis) RenderGantt(width int) string {
 	for _, r := range a.Spans {
 		children[r.Parent] = append(children[r.Parent], r)
 	}
+	//esglint:unordered sorts each bucket in place; row order comes from walk(), not this loop
 	for _, cs := range children {
 		sort.Slice(cs, func(i, j int) bool {
 			if !cs[i].Start.Equal(cs[j].Start) {

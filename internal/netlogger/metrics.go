@@ -266,14 +266,17 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	}
 	r.mu.Lock()
 	var rows []MetricSnapshot
+	//esglint:unordered rows are sorted by name below before return
 	for name, c := range r.counters {
 		rows = append(rows, MetricSnapshot{name, "counter",
 			fmt.Sprintf("%g", c.Value())})
 	}
+	//esglint:unordered rows are sorted by name below before return
 	for name, g := range r.gauges {
 		rows = append(rows, MetricSnapshot{name, "gauge",
 			fmt.Sprintf("%g (max %g)", g.Value(), g.Max())})
 	}
+	//esglint:unordered rows are sorted by name below before return
 	for name, h := range r.hists {
 		rows = append(rows, MetricSnapshot{name, "histogram",
 			fmt.Sprintf("n=%d mean=%.6g p50<=%.6g p99<=%.6g max=%.6g",
