@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench bench-json cover fuzz-smoke check
+.PHONY: all build vet lint test race bench-smoke bench bench-json bench-diff cover fuzz-smoke check
 
 all: check
 
@@ -32,10 +32,19 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchtime=1x ./...
 
-# Machine-readable benchmark snapshot (BENCH_PR4.json at the repo
+# Machine-readable benchmark snapshot (BENCH_PR6.json at the repo
 # root): name -> ns/op, allocs/op. CI archives it per run.
 bench-json:
 	./scripts/bench.sh
+
+# Benchmark regression gate: nonzero exit when NEW regresses past the
+# tolerance vs BASE (default 20%; override via BENCH_DIFF_NS_TOL /
+# BENCH_DIFF_ALLOC_TOL — wall time under -benchtime=1x is noisy, so CI
+# loosens the ns/op bound and gates chiefly on allocation counts).
+BENCH_BASE ?= BENCH_PR4.json
+BENCH_NEW ?= BENCH_PR6.json
+bench-diff:
+	./scripts/bench_diff.sh $(BENCH_BASE) $(BENCH_NEW)
 
 # Statement-coverage floor gate over internal/ (see coverage-floors.txt).
 cover:

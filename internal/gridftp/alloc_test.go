@@ -1,0 +1,49 @@
+package gridftp
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"esgrid/internal/transport"
+)
+
+// discardConn is the minimal transport.Conn for exercising the send path
+// without a peer: writes vanish, reads report EOF.
+type discardConn struct{}
+
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) Read(p []byte) (int, error)       { return 0, io.EOF }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) LocalAddr() net.Addr              { return nil }
+func (discardConn) RemoteAddr() net.Addr             { return nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestModeEBlockSendAllocFree guards the per-block unit of a MODE E data
+// stream — header marshal plus content range send. Striped transfers emit
+// one of these per block per stream, so any allocation here multiplies by
+// the whole transfer.
+func TestModeEBlockSendAllocFree(t *testing.T) {
+	src := NewBytesSource(make([]byte, 1<<20))
+	var c transport.Conn = discardConn{}
+	var sendErr error
+	send := func() {
+		if err := writeBlockHeader(c, blockHeader{Len: 64 << 10, Off: 128}); err != nil && sendErr == nil {
+			sendErr = err
+		}
+		if err := src.SendRange(c, 128, 64<<10); err != nil && sendErr == nil {
+			sendErr = err
+		}
+	}
+	send() // warm the header scratch pool
+	allocs := testing.AllocsPerRun(1000, send)
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if allocs > 0 {
+		t.Errorf("MODE E block send allocates %.1f objects per block, want 0", allocs)
+	}
+}

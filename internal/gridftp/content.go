@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"esgrid/internal/transport"
@@ -69,8 +68,13 @@ func (s *extentSet) add(off, n int64) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// ext is kept sorted, so sift the new extent into place instead of
+	// re-sorting the whole set per block (sort.Slice also allocates its
+	// swapper on every call).
 	s.ext = append(s.ext, Extent{off, n})
-	sort.Slice(s.ext, func(i, j int) bool { return s.ext[i].Off < s.ext[j].Off })
+	for i := len(s.ext) - 1; i > 0 && s.ext[i-1].Off > off; i-- {
+		s.ext[i], s.ext[i-1] = s.ext[i-1], s.ext[i]
+	}
 	out := s.ext[:0]
 	for _, e := range s.ext {
 		if len(out) > 0 {
@@ -118,9 +122,10 @@ func (b *bytesSource) SendRange(c transport.Conn, off, n int64) error {
 	return err
 }
 
-// bytesSink collects real content into memory.
+// bytesSink collects real content into memory. Writers land in disjoint
+// ranges of data (the extent set serializes its own bookkeeping), so no
+// sink-wide lock is needed.
 type bytesSink struct {
-	mu   sync.Mutex
 	data []byte
 	size int64
 	ext  extentSet
@@ -134,18 +139,16 @@ func NewBytesSink(size int64) *BytesSink {
 // BytesSink is the exported handle to an in-memory sink.
 type BytesSink struct{ s bytesSink }
 
-// ReceiveRange implements Sink.
+// ReceiveRange implements Sink. Parallel streams carry disjoint ranges,
+// so each call reads straight into its own slice of the backing buffer —
+// no staging copy, and no lock held across the (blocking) network read.
 func (b *BytesSink) ReceiveRange(c transport.Conn, off, n int64) error {
 	if off < 0 || n < 0 || off+n > b.s.size {
 		return fmt.Errorf("%w: [%d,%d) of %d", ErrRange, off, off+n, b.s.size)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(c, buf); err != nil {
+	if _, err := io.ReadFull(c, b.s.data[off:off+n]); err != nil {
 		return err
 	}
-	b.s.mu.Lock()
-	copy(b.s.data[off:], buf)
-	b.s.mu.Unlock()
 	b.s.ext.add(off, n)
 	return nil
 }

@@ -109,11 +109,23 @@ type fileSink struct {
 	done  bool
 }
 
+// copyBufPool recycles the 256 KiB staging buffers fileSink uses to move
+// stream data onto disk; allocating one per ReceiveRange call churned the
+// heap badly under many small ranges.
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 256<<10)
+		return &b
+	},
+}
+
 func (s *fileSink) ReceiveRange(c transport.Conn, off, n int64) error {
 	if off < 0 || n < 0 || off+n > s.size {
 		return fmt.Errorf("%w: [%d,%d) of %d", ErrRange, off, off+n, s.size)
 	}
-	buf := make([]byte, 256<<10)
+	bufp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bufp)
+	buf := *bufp
 	var written int64
 	for written < n {
 		chunk := int64(len(buf))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"esgrid/internal/transport"
 )
@@ -158,25 +159,34 @@ type blockHeader struct {
 
 const blockHeaderLen = 17
 
+// hdrBufPool recycles header scratch: the 17 bytes would otherwise escape
+// to the heap on every block (w and r are interfaces, so escape analysis
+// cannot keep the array on the stack).
+var hdrBufPool = sync.Pool{New: func() any { return new([blockHeaderLen]byte) }}
+
 func writeBlockHeader(w io.Writer, h blockHeader) error {
-	var buf [blockHeaderLen]byte
+	buf := hdrBufPool.Get().(*[blockHeaderLen]byte)
 	buf[0] = h.Flags
 	binary.BigEndian.PutUint64(buf[1:9], h.Len)
 	binary.BigEndian.PutUint64(buf[9:17], h.Off)
 	_, err := w.Write(buf[:])
+	hdrBufPool.Put(buf)
 	return err
 }
 
 func readBlockHeader(r io.Reader) (blockHeader, error) {
-	var buf [blockHeaderLen]byte
+	buf := hdrBufPool.Get().(*[blockHeaderLen]byte)
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		hdrBufPool.Put(buf)
 		return blockHeader{}, err
 	}
-	return blockHeader{
+	h := blockHeader{
 		Flags: buf[0],
 		Len:   binary.BigEndian.Uint64(buf[1:9]),
 		Off:   binary.BigEndian.Uint64(buf[9:17]),
-	}, nil
+	}
+	hdrBufPool.Put(buf)
+	return h, nil
 }
 
 // ParseRanges parses an ERET-style "off:len,off:len" extent list.

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"time"
-
-	"esgrid/internal/vtime"
 )
 
 // Incremental, component-scoped max-min allocation.
@@ -58,6 +56,7 @@ func (n *Net) attachLocked(f *flow) {
 	if f.attached {
 		return
 	}
+	n.csrGen++
 	refs := f.refs()
 	if cap(f.resPos) < len(refs) {
 		f.resPos = make([]int, len(refs))
@@ -77,6 +76,7 @@ func (n *Net) detachLocked(f *flow) {
 	if !f.attached {
 		return
 	}
+	n.csrGen++
 	for j, rr := range f.refs() {
 		r := rr.r
 		p := f.resPos[j]
@@ -135,12 +135,7 @@ func (n *Net) requestFlushLocked() {
 		return
 	}
 	n.flushPending = true
-	n.clk.AfterFunc(0, func() {
-		n.mu.Lock()
-		n.flushPending = false
-		n.flushLocked()
-		n.mu.Unlock()
-	})
+	n.clk.ArmInstantHook()
 }
 
 // flushLocked re-allocates every dirty component at the current instant.
@@ -150,7 +145,7 @@ func (n *Net) flushLocked() {
 	if len(n.dirtyFlows) == 0 && len(n.dirtyRes) == 0 {
 		return
 	}
-	now := n.clk.Now().Sub(vtime.Epoch)
+	now := n.clk.Elapsed()
 	n.epoch++
 	for _, f := range n.dirtyFlows {
 		f.dirty = false
@@ -202,6 +197,26 @@ func (n *Net) reallocComponentLocked(seed *flow, now time.Duration) {
 	n.scrComp = comp
 	n.allocPasses++
 	n.allocFlows += uint64(len(comp))
+	if len(comp) == 1 {
+		// A flow alone on all its resources (the BFS found no neighbour)
+		// has the closed-form rate min(windowCap, capacity/weight) — no
+		// need to run the full progressive filling for it. Long single
+		// transfers re-allocate on every per-RTT window event, so this
+		// path carries the bulk of their passes.
+		f := comp[0]
+		f.fold(now)
+		rate := f.windowCap
+		for _, rr := range f.refs() {
+			if r := rr.r.effective() / rr.w; r < rate {
+				rate = r
+			}
+		}
+		if math.IsInf(rate, 1) {
+			rate = loopbackBps
+		}
+		f.setRate(now, rate)
+		return
+	}
 	for _, f := range comp {
 		f.fold(now)
 	}

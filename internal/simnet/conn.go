@@ -6,11 +6,17 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"time"
 
 	"esgrid/internal/transport"
 	"esgrid/internal/vtime"
 )
+
+// hostPort formats "host:port" without fmt's interface boxing.
+func hostPort(host string, port int) string {
+	return host + ":" + strconv.Itoa(port)
+}
 
 // Host is a traffic-originating node. It implements transport.Network, so
 // protocol servers and clients bind to a Host exactly as they would to
@@ -77,8 +83,9 @@ type Endpoint struct {
 	peer transport.Addr
 
 	buf      int
-	rx       []*segment
-	rxOff    int // bytes consumed from rx[0].data
+	rx       []*segment // head-indexed FIFO: live entries are rx[rxHead:]
+	rxHead   int
+	rxOff    int // bytes consumed from the head segment's data
 	rxCond   vtime.Cond
 	closed   bool
 	resetErr error
@@ -102,7 +109,7 @@ func (timeoutError) Error() string   { return "simnet: i/o timeout" }
 func (timeoutError) Timeout() bool   { return true }
 func (timeoutError) Temporary() bool { return true }
 
-func (n *Net) nowOff() time.Duration { return n.clk.Now().Sub(vtime.Epoch) }
+func (n *Net) nowOff() time.Duration { return n.clk.Elapsed() }
 
 // Listen implements transport.Network.
 func (h *Host) Listen(addr string) (transport.Listener, error) {
@@ -114,7 +121,7 @@ func (h *Host) Listen(addr string) (transport.Listener, error) {
 		port = n.nextPort
 		n.nextPort++
 	}
-	key := fmt.Sprintf("%s:%d", h.name, port)
+	key := hostPort(h.name, port)
 	if _, dup := n.listeners[key]; dup {
 		return nil, fmt.Errorf("simnet: address %s already in use", key)
 	}
@@ -185,7 +192,7 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("simnet: host %s is down", h.name)
 	}
-	key := fmt.Sprintf("%s:%d", host, port)
+	key := hostPort(host, port)
 	l, ok := n.listeners[key]
 	if !ok {
 		n.mu.Unlock()
@@ -213,7 +220,7 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 	n.nextConnSeq++
 	cli := &Endpoint{
 		conn: c, idx: 0, host: h,
-		addr: transport.Addr{Net: "sim", Text: fmt.Sprintf("%s:%d", h.name, cliPort)},
+		addr: transport.Addr{Net: "sim", Text: hostPort(h.name, cliPort)},
 		peer: transport.Addr{Net: "sim", Text: key},
 		buf:  h.defaultBuffer(),
 	}
@@ -298,7 +305,7 @@ func (c *Conn) removeLocked() {
 			"src", c.eps[0].addr.Text,
 			"dst", c.eps[1].addr.Text,
 			"label", c.label,
-			"bytes", fmt.Sprintf("%.0f", c.flows[0].transmitted+c.flows[1].transmitted))
+			"bytes", strconv.FormatFloat(c.flows[0].transmitted+c.flows[1].transmitted, 'f', 0, 64))
 	}
 }
 
@@ -321,46 +328,67 @@ func (c *Conn) reset(err error) {
 
 // --- Endpoint: net.Conn implementation ---
 
-// Write sends real bytes (protocol headers, control messages).
+// Write sends real bytes (protocol headers, control messages). The
+// payload is copied into a pooled segment buffer, recycled when the
+// receiver consumes it.
 func (ep *Endpoint) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	data := make([]byte, len(p))
-	copy(data, p)
-	if err := ep.send(&segment{data: data, n: int64(len(p))}); err != nil {
+	c := ep.conn
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seg := n.getSegLocked()
+	seg.data = append(seg.data[:0], p...)
+	seg.n = int64(len(p))
+	if err := ep.sendLocked(seg); err != nil {
 		return 0, err
 	}
 	return len(p), nil
 }
 
 // WriteVirtual implements transport.VirtualWriter.
-func (ep *Endpoint) WriteVirtual(n int64) error {
-	if n <= 0 {
+func (ep *Endpoint) WriteVirtual(nbytes int64) error {
+	if nbytes <= 0 {
 		return nil
 	}
-	return ep.send(&segment{n: n})
-}
-
-func (ep *Endpoint) send(seg *segment) error {
-	c := ep.conn
-	n := c.net
+	n := ep.conn.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	seg := n.getSegLocked()
+	seg.n = nbytes
+	return ep.sendLocked(seg)
+}
+
+// sendLocked enqueues seg on this endpoint's flow and blocks until it has
+// been transmitted. Caller holds Net.mu; the segment is owned by the flow
+// from the moment it is enqueued (it may be recycled while the writer is
+// still blocked), so the wait tracks the captured end offset, never the
+// segment itself.
+func (ep *Endpoint) sendLocked(seg *segment) error {
+	c := ep.conn
+	n := c.net
 	if ep.resetErr != nil {
+		n.putSegLocked(seg)
 		return ep.resetErr
 	}
 	if ep.closed {
+		n.putSegLocked(seg)
 		return net.ErrClosed
 	}
 	f := c.flows[ep.idx]
 	if f.removed {
+		n.putSegLocked(seg)
 		return net.ErrClosed
 	}
 	if f.enqueue(n.nowOff(), seg) {
 		n.flowActivatedLocked(f)
 	}
-	// Block until the segment has been transmitted.
+	end := seg.end
+	// Block until the segment has been transmitted. The tolerance matches
+	// completeReady's retirement test exactly, so the broadcast that
+	// retires the segment always satisfies this predicate.
 	for {
 		if ep.resetErr != nil {
 			return ep.resetErr
@@ -368,7 +396,7 @@ func (ep *Endpoint) send(seg *segment) error {
 		if f.removed {
 			return net.ErrClosed
 		}
-		if f.transmittedAt(n.nowOff()) >= seg.end-1e-6 {
+		if f.transmittedAt(n.nowOff()) >= end-1e-3 {
 			return nil
 		}
 		if !ep.writeDeadline.IsZero() {
@@ -385,17 +413,33 @@ func (ep *Endpoint) send(seg *segment) error {
 	}
 }
 
-// deliver appends an arrived segment to the receive queue (invoked by the
-// sender's flow one propagation delay after transmit completes).
-func (ep *Endpoint) deliver(seg *segment) {
+// deliverLocked appends an arrived segment to the receive queue (invoked
+// by the sender's flow one propagation delay after transmit completes).
+// Caller holds Net.mu. Segments arriving after close or reset are
+// recycled, not queued.
+func (ep *Endpoint) deliverLocked(seg *segment) {
 	n := ep.conn.net
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	if ep.closed || ep.resetErr != nil {
+		n.putSegLocked(seg)
 		return
 	}
 	ep.rx = append(ep.rx, seg)
 	ep.rxCond.Broadcast()
+}
+
+// popRxLocked retires the fully consumed head segment into the pool and
+// resets the FIFO to the front of its backing array when it drains.
+func (ep *Endpoint) popRxLocked() {
+	n := ep.conn.net
+	seg := ep.rx[ep.rxHead]
+	ep.rx[ep.rxHead] = nil
+	ep.rxHead++
+	if ep.rxHead == len(ep.rx) {
+		ep.rx = ep.rx[:0]
+		ep.rxHead = 0
+	}
+	ep.rxOff = 0
+	n.putSegLocked(seg)
 }
 
 // Read receives real bytes.
@@ -410,19 +454,20 @@ func (ep *Endpoint) Read(p []byte) (int, error) {
 		if ep.closed {
 			return 0, net.ErrClosed
 		}
-		if len(ep.rx) > 0 {
-			head := ep.rx[0]
+		if ep.rxHead < len(ep.rx) {
+			head := ep.rx[ep.rxHead]
 			if head.fin {
 				return 0, io.EOF
 			}
-			if head.data == nil {
+			// Pooled segments keep a zero-length buffer attached, so the
+			// real/virtual discriminator is payload length, not nil-ness.
+			if len(head.data) == 0 {
 				return 0, ErrVirtualPending
 			}
 			m := copy(p, head.data[ep.rxOff:])
 			ep.rxOff += m
 			if ep.rxOff >= len(head.data) {
-				ep.rx = ep.rx[1:]
-				ep.rxOff = 0
+				ep.popRxLocked()
 			}
 			return m, nil
 		}
@@ -444,12 +489,12 @@ func (ep *Endpoint) ReadVirtual(max int64) (int64, error) {
 		if ep.closed {
 			return 0, net.ErrClosed
 		}
-		if len(ep.rx) > 0 {
-			head := ep.rx[0]
+		if ep.rxHead < len(ep.rx) {
+			head := ep.rx[ep.rxHead]
 			if head.fin {
 				return 0, io.EOF
 			}
-			if head.data != nil {
+			if len(head.data) != 0 {
 				return 0, errRealPending
 			}
 			got := head.n
@@ -457,7 +502,7 @@ func (ep *Endpoint) ReadVirtual(max int64) (int64, error) {
 				got = max
 				head.n -= max
 			} else {
-				ep.rx = ep.rx[1:]
+				ep.popRxLocked()
 			}
 			return got, nil
 		}
@@ -500,7 +545,9 @@ func (ep *Endpoint) Close() error {
 	c.writeCond[ep.idx].Broadcast()
 	f := c.flows[ep.idx]
 	if !f.removed {
-		if f.enqueue(n.nowOff(), &segment{fin: true}) {
+		seg := n.getSegLocked()
+		seg.fin = true
+		if f.enqueue(n.nowOff(), seg) {
 			n.flowActivatedLocked(f)
 		}
 	}

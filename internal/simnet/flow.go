@@ -29,13 +29,15 @@ type flow struct {
 	maxWindow float64
 	windowCap float64
 	growing   bool
-	growTimer vtime.Timer
-	lossTimer vtime.Timer
+	growEv    vtime.EventID
+	lossEv    vtime.EventID
 	lossRate  float64 // flow rate when the loss timer was sampled
 
 	// Transmission state. transmitted is the cumulative payload bytes
 	// fully accounted as of virtual instant lastT; between events the
 	// true value is transmitted + rate/8*(t-lastT), clamped to queuedEnd.
+	// segs is a head-indexed FIFO (segsHead..len) so steady-state
+	// enqueue/retire reuses the backing array instead of reslicing it away.
 	active      bool
 	lingering   bool
 	rate        float64 // bits/s
@@ -43,9 +45,28 @@ type flow struct {
 	transmitted float64
 	queuedEnd   float64
 	segs        []*segment
-	doneTimer   vtime.Timer
-	lingerTimer vtime.Timer
+	segsHead    int
+	doneEv      vtime.EventID
+	lingerEv    vtime.EventID
 	removed     bool
+
+	// inflight holds segments whose transmission completed and whose
+	// delivery event (one propagation delay later) is pending. Deliveries
+	// are armed with a constant delay (owd) in retirement order, so the
+	// event heap's (at, seq) order preserves this FIFO and one cached
+	// deliverFn can pop the head instead of capturing each segment in a
+	// fresh closure.
+	inflight []*segment
+	inflHead int
+
+	// Cached event callbacks, bound once at construction so the per-event
+	// hot path (growth, loss, completion, linger, delivery) schedules with
+	// zero allocation.
+	growFn    func()
+	lossFn    func()
+	doneFn    func()
+	lingerFn  func()
+	deliverFn func()
 
 	resRefs []hostRes // cached resource membership (see refs)
 
@@ -88,8 +109,12 @@ func (f *flow) refs() []hostRes {
 	return f.resRefs
 }
 
-// invalidateRefs drops the cached resource list (e.g. on SetDiskBound).
-func (f *flow) invalidateRefs() { f.resRefs = nil }
+// invalidateRefs drops the cached resource list (e.g. on SetDiskBound)
+// and with it any CSR built from the old edges.
+func (f *flow) invalidateRefs() {
+	f.resRefs = nil
+	f.net.csrGen++
+}
 
 func newFlow(n *Net, c *Conn, dir int, src, dst *Host, path []*simplex, buffer int, mss int) *flow {
 	f := &flow{
@@ -109,7 +134,47 @@ func newFlow(n *Net, c *Conn, dir int, src, dst *Host, path []*simplex, buffer i
 	// buffer), so buffer tuning remains the binding limit.
 	f.ssthresh = math.Inf(1)
 	f.updateWindowCap()
+	f.growFn = f.onGrow
+	f.lossFn = f.onLoss
+	f.doneFn = f.onSegmentDone
+	f.lingerFn = f.onLinger
+	f.deliverFn = f.deliverHead
 	return f
+}
+
+// queued reports the number of segments awaiting transmission.
+func (f *flow) queued() int { return len(f.segs) - f.segsHead }
+
+// headSeg returns the oldest queued segment.
+func (f *flow) headSeg() *segment { return f.segs[f.segsHead] }
+
+// popSegLocked removes and returns the head segment, resetting the FIFO
+// to the front of its backing array when it drains.
+func (f *flow) popSegLocked() *segment {
+	seg := f.segs[f.segsHead]
+	f.segs[f.segsHead] = nil
+	f.segsHead++
+	if f.segsHead == len(f.segs) {
+		f.segs = f.segs[:0]
+		f.segsHead = 0
+	}
+	return seg
+}
+
+// deliverHead pops the oldest in-flight segment and hands it to the
+// receiving endpoint; it is the target of every delivery event.
+func (f *flow) deliverHead() {
+	n := f.net
+	n.mu.Lock()
+	seg := f.inflight[f.inflHead]
+	f.inflight[f.inflHead] = nil
+	f.inflHead++
+	if f.inflHead == len(f.inflight) {
+		f.inflight = f.inflight[:0]
+		f.inflHead = 0
+	}
+	f.conn.eps[1-f.dir].deliverLocked(seg)
+	n.mu.Unlock()
 }
 
 func (f *flow) updateWindowCap() {
@@ -183,9 +248,9 @@ func (f *flow) enqueue(now time.Duration, seg *segment) (activated bool) {
 	f.queuedEnd += float64(seg.n)
 	seg.end = f.queuedEnd
 	f.segs = append(f.segs, seg)
-	if f.lingerTimer != nil {
-		f.lingerTimer.Stop()
-		f.lingerTimer = nil
+	if f.lingerEv != 0 {
+		f.net.clk.Cancel(f.lingerEv)
+		f.lingerEv = 0
 	}
 	f.lingering = false
 	if !f.active {
@@ -212,13 +277,14 @@ func (f *flow) scheduleGrowth() {
 		return
 	}
 	f.growing = true
-	f.growTimer = f.net.clk.AfterFunc(f.rtt, f.onGrow)
+	f.growEv = f.net.clk.Schedule(f.rtt, f.growFn)
 }
 
 func (f *flow) onGrow() {
 	n := f.net
 	n.mu.Lock()
 	f.growing = false
+	f.growEv = 0
 	if f.removed || !f.active {
 		n.mu.Unlock()
 		return
@@ -233,7 +299,13 @@ func (f *flow) onGrow() {
 		f.window = f.maxWindow
 	}
 	f.updateWindowCap()
-	f.scheduleGrowth()
+	// Re-arm the next tick by reclaiming this event's own slot — a plain
+	// field write instead of a schedule cycle — since this callback IS the
+	// growth event.
+	if f.rtt > 0 && f.window < f.maxWindow {
+		f.growing = true
+		f.growEv = n.clk.RearmFiring(f.rtt)
+	}
 	// Only re-allocate if this flow was actually window-limited: growing
 	// a window below the resource share changes nothing.
 	if f.rate >= wasCap-1e-6 {
@@ -245,33 +317,31 @@ func (f *flow) onGrow() {
 // scheduleLoss samples the next random-loss instant from the flow's
 // current rate and the loss probability accumulated along its path.
 func (f *flow) scheduleLoss() {
-	if f.lossTimer != nil {
-		f.lossTimer.Stop()
-		f.lossTimer = nil
+	var lambda float64
+	if f.active && !f.removed && f.rate > 0 {
+		var p float64
+		for _, s := range f.path {
+			p += s.loss
+		}
+		pktPerSec := f.rate / 8 / float64(f.mss)
+		lambda = pktPerSec * p
 	}
-	if !f.active || f.removed {
-		return
-	}
-	var p float64
-	for _, s := range f.path {
-		p += s.loss
-	}
-	if p <= 0 || f.rate <= 0 {
-		return
-	}
-	pktPerSec := f.rate / 8 / float64(f.mss)
-	lambda := pktPerSec * p
 	if lambda <= 0 {
+		if f.lossEv != 0 {
+			f.net.clk.Cancel(f.lossEv)
+			f.lossEv = 0
+		}
 		return
 	}
 	f.lossRate = f.rate
 	wait := f.net.clk.RandExp(1 / lambda)
-	f.lossTimer = f.net.clk.AfterFunc(time.Duration(wait*float64(time.Second)), f.onLoss)
+	f.lossEv = f.net.clk.Reschedule(f.lossEv, time.Duration(wait*float64(time.Second)), f.lossFn)
 }
 
 func (f *flow) onLoss() {
 	n := f.net
 	n.mu.Lock()
+	f.lossEv = 0
 	if f.removed || !f.active {
 		n.mu.Unlock()
 		return
@@ -293,13 +363,13 @@ func (f *flow) setRate(now time.Duration, rate float64) {
 	unchanged := rate == f.rate
 	f.rate = rate
 	f.lastT = now
-	if unchanged && f.doneTimer != nil {
+	if unchanged && f.doneEv != 0 {
 		return
 	}
 	f.scheduleCompletion(now)
 	// Loss is a Poisson process in packets, so its intensity tracks the
 	// rate: re-sample the next loss whenever the rate moves materially.
-	if f.lossTimer == nil || rate > 1.5*f.lossRate || rate < 0.67*f.lossRate {
+	if f.lossEv == 0 || rate > 1.5*f.lossRate || rate < 0.67*f.lossRate {
 		f.scheduleLoss()
 	}
 }
@@ -308,18 +378,16 @@ func (f *flow) setRate(now time.Duration, rate float64) {
 // segment finishes transmitting. Zero-length (FIN) heads complete
 // immediately.
 func (f *flow) scheduleCompletion(now time.Duration) {
-	if f.doneTimer != nil {
-		f.doneTimer.Stop()
-		f.doneTimer = nil
-	}
 	f.completeReady(now)
-	if len(f.segs) == 0 || f.removed {
+	if f.queued() == 0 || f.removed || f.rate <= 0 {
+		// Empty, gone, or stalled (outage; re-armed on next recompute).
+		if f.doneEv != 0 {
+			f.net.clk.Cancel(f.doneEv)
+			f.doneEv = 0
+		}
 		return
 	}
-	if f.rate <= 0 {
-		return // stalled (outage); re-armed on next recompute
-	}
-	need := f.segs[0].end - f.transmittedAt(now)
+	need := f.headSeg().end - f.transmittedAt(now)
 	if need < 0 {
 		need = 0
 	}
@@ -331,19 +399,22 @@ func (f *flow) scheduleCompletion(now time.Duration) {
 	if secs < maxDelay.Seconds() {
 		d = time.Duration(secs*float64(time.Second)) + time.Nanosecond
 	}
-	f.doneTimer = f.net.clk.AfterFunc(d, f.onSegmentDone)
+	// Reschedule re-keys the pending event in place — on the per-RTT
+	// growth path this timer moves on every rate change, and a fused
+	// re-arm halves the heap traffic of a cancel-then-schedule pair.
+	f.doneEv = f.net.clk.Reschedule(f.doneEv, d, f.doneFn)
 }
 
 func (f *flow) onSegmentDone() {
 	n := f.net
 	n.mu.Lock()
+	f.doneEv = 0
 	if f.removed {
 		n.mu.Unlock()
 		return
 	}
-	now := n.clk.Now().Sub(vtime.Epoch)
+	now := n.clk.Elapsed()
 	f.fold(now)
-	f.doneTimer = nil
 	f.scheduleCompletion(now)
 	n.mu.Unlock()
 }
@@ -354,20 +425,25 @@ func (f *flow) onSegmentDone() {
 // don't thrash the allocator.
 func (f *flow) completeReady(now time.Duration) {
 	done := f.transmittedAt(now)
-	for len(f.segs) > 0 && f.segs[0].end <= done+1e-3 {
-		seg := f.segs[0]
-		f.segs = f.segs[1:]
-		rx := f.conn.eps[1-f.dir]
-		f.net.clk.AfterFunc(f.owd, func() { rx.deliver(seg) })
+	retired := false
+	for f.queued() > 0 && f.headSeg().end <= done+1e-3 {
+		seg := f.popSegLocked()
+		f.inflight = append(f.inflight, seg)
+		f.net.clk.Schedule(f.owd, f.deliverFn)
+		retired = true
 	}
-	f.conn.writeCond[f.dir].Broadcast()
-	if len(f.segs) == 0 && f.active && !f.lingering {
+	// Writers block only on transmission progress, so one broadcast per
+	// retirement batch (not per bookkeeping pass) is enough to wake them.
+	if retired {
+		f.conn.writeCond[f.dir].Broadcast()
+	}
+	if f.queued() == 0 && f.active && !f.lingering {
 		f.lingering = true
 		linger := f.rtt
 		if linger <= 0 {
 			linger = time.Millisecond
 		}
-		f.lingerTimer = f.net.clk.AfterFunc(linger, f.onLinger)
+		f.lingerEv = f.net.clk.Schedule(linger, f.lingerFn)
 	}
 }
 
@@ -375,18 +451,20 @@ func (f *flow) onLinger() {
 	n := f.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if f.removed || !f.lingering || len(f.segs) > 0 {
+	f.lingerEv = 0
+	if f.removed || !f.lingering || f.queued() > 0 {
 		f.lingering = false
 		return
 	}
 	f.lingering = false
 	f.active = false
-	if f.lossTimer != nil {
-		f.lossTimer.Stop()
-		f.lossTimer = nil
+	if f.lossEv != 0 {
+		f.net.clk.Cancel(f.lossEv)
+		f.lossEv = 0
 	}
-	if f.growTimer != nil {
-		f.growTimer.Stop()
+	if f.growEv != 0 {
+		f.net.clk.Cancel(f.growEv)
+		f.growEv = 0
 		f.growing = false
 	}
 	n.flowDeactivatedLocked(f)
@@ -405,11 +483,17 @@ func (f *flow) remove(now time.Duration) {
 	}
 	f.active = false
 	f.net.detachLocked(f)
-	for _, t := range []vtime.Timer{f.doneTimer, f.lossTimer, f.growTimer, f.lingerTimer} {
-		if t != nil {
-			t.Stop()
+	// Untransmitted segments can never reach the receiver: recycle them.
+	// In-flight segments stay owned by their pending delivery events.
+	for f.queued() > 0 {
+		f.net.putSegLocked(f.popSegLocked())
+	}
+	for _, ev := range [...]vtime.EventID{f.doneEv, f.lossEv, f.growEv, f.lingerEv} {
+		if ev != 0 {
+			f.net.clk.Cancel(ev)
 		}
 	}
+	f.doneEv, f.lossEv, f.growEv, f.lingerEv = 0, 0, 0, 0
 	if f.src != nil && f.dst != nil {
 		if f.src.retiredBytesTo == nil {
 			f.src.retiredBytesTo = map[string]float64{}

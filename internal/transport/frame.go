@@ -5,41 +5,70 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrameBytes bounds a single length-prefixed frame; control messages in
 // ESG are small, so anything larger indicates a corrupted stream.
 const MaxFrameBytes = 16 << 20
 
+// frameHdrPool recycles the 4-byte prefix scratch; w and r are interfaces,
+// so a stack array would escape on every frame.
+var frameHdrPool = sync.Pool{New: func() any { return new([4]byte) }}
+
+// framePayloadPool recycles control-message payload buffers for the
+// internal read path (ReadJSON); grown buffers are recycled at their
+// grown size.
+var framePayloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // WriteFrame writes a 4-byte big-endian length prefix followed by p.
 func WriteFrame(w io.Writer, p []byte) error {
 	if len(p) > MaxFrameBytes {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(p))
 	}
-	var hdr [4]byte
+	hdr := frameHdrPool.Get().(*[4]byte)
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(p)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	_, err := w.Write(hdr[:])
+	frameHdrPool.Put(hdr)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(p)
+	_, err = w.Write(p)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
-func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readFrameInto reads one length-prefixed frame into buf, growing it as
+// needed, and returns the filled slice.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	hdr := frameHdrPool.Get().(*[4]byte)
+	_, err := io.ReadFull(r, hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:])
+	frameHdrPool.Put(hdr)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameBytes {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
-	p := make([]byte, n)
-	if _, err := io.ReadFull(r, p); err != nil {
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return p, nil
+	return buf, nil
+}
+
+// ReadFrame reads one length-prefixed frame. The returned slice is owned
+// by the caller.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
 }
 
 // WriteJSON marshals v and writes it as one frame.
@@ -51,11 +80,17 @@ func WriteJSON(w io.Writer, v any) error {
 	return WriteFrame(w, p)
 }
 
-// ReadJSON reads one frame and unmarshals it into v.
+// ReadJSON reads one frame and unmarshals it into v, staging the payload
+// through a pooled buffer (json.Unmarshal copies what it keeps).
 func ReadJSON(r io.Reader, v any) error {
-	p, err := ReadFrame(r)
+	bufp := framePayloadPool.Get().(*[]byte)
+	p, err := readFrameInto(r, (*bufp)[:cap(*bufp)])
 	if err != nil {
+		framePayloadPool.Put(bufp)
 		return err
 	}
-	return json.Unmarshal(p, v)
+	err = json.Unmarshal(p, v)
+	*bufp = p[:0]
+	framePayloadPool.Put(bufp)
+	return err
 }

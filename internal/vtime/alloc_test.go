@@ -1,0 +1,132 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCancelStormQueueBounded is the regression test for the old
+// simTimer.Stop leak: cancelled events used to stay in the heap until
+// their due time was popped, so arm/cancel churn (AIMD loss timers, conn
+// deadlines) grew the queue without bound. With slot recycling the queue
+// must stay flat no matter how many timers are cancelled.
+func TestCancelStormQueueBounded(t *testing.T) {
+	s := NewSim(1)
+	s.Run(func() {
+		const storm = 100_000
+		for i := 0; i < storm; i++ {
+			tm := s.AfterFunc(time.Hour, func() { t.Error("cancelled timer fired") })
+			if !tm.Stop() {
+				t.Fatal("Stop() = false on a pending timer")
+			}
+			if n := s.PendingEvents(); n > 1 {
+				t.Fatalf("after %d cancels: %d events queued, want <= 1", i+1, n)
+			}
+		}
+		if n := s.PendingEvents(); n != 0 {
+			t.Fatalf("queue holds %d events after cancel storm, want 0", n)
+		}
+	})
+}
+
+// TestScheduleCancelStale verifies generation tagging: once a slot is
+// recycled, the old EventID must not cancel (or otherwise disturb) the
+// slot's next tenant.
+func TestScheduleCancelStale(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	s.Run(func() {
+		stale := s.Schedule(time.Second, func() {})
+		if !s.Cancel(stale) {
+			t.Fatal("Cancel on pending event = false")
+		}
+		// The recycled slot is reused by the next Schedule.
+		s.Schedule(time.Second, func() { fired = true })
+		if s.Cancel(stale) {
+			t.Error("stale EventID cancelled the slot's new tenant")
+		}
+		if s.Cancel(0) {
+			t.Error("Cancel(0) = true, want false")
+		}
+		s.Sleep(2 * time.Second)
+	})
+	if !fired {
+		t.Fatal("event was lost to a stale cancel")
+	}
+}
+
+// TestSimSleepAllocFree guards the managed-goroutine hot path: once its
+// parker and event slot exist, Sleep must not allocate.
+func TestSimSleepAllocFree(t *testing.T) {
+	s := NewSim(1)
+	s.Run(func() {
+		s.Sleep(time.Millisecond) // warm the parker freelist and slot arena
+		allocs := testing.AllocsPerRun(1000, func() {
+			s.Sleep(time.Microsecond)
+		})
+		if allocs > 0 {
+			t.Errorf("Sim.Sleep allocates %.1f objects per call, want 0", allocs)
+		}
+	})
+}
+
+// TestSimScheduleCancelAllocFree guards the timer hot path used by the
+// network simulator (window growth, loss sampling, completions).
+func TestSimScheduleCancelAllocFree(t *testing.T) {
+	s := NewSim(1)
+	fn := func() {}
+	s.Run(func() {
+		s.Cancel(s.Schedule(time.Hour, fn)) // warm the slot arena
+		allocs := testing.AllocsPerRun(1000, func() {
+			id := s.Schedule(time.Hour, fn)
+			s.Cancel(id)
+		})
+		if allocs > 0 {
+			t.Errorf("Schedule+Cancel allocates %.1f objects per call, want 0", allocs)
+		}
+	})
+}
+
+// TestSimCondWaitAllocFree guards the cond hot path (simnet read/write
+// blocking): steady-state Wait/Broadcast on a Sim clock must recycle its
+// waiter rather than allocate a new one.
+func TestSimCondWaitAllocFree(t *testing.T) {
+	s := NewSim(1)
+	s.Run(func() {
+		var mu sync.Mutex
+		cond := s.NewCond(&mu)
+		turn := 0 // 0: waiter may proceed to wait; 1: signaller may signal
+		wg := NewWaitGroup(s)
+		const rounds = 500
+		wg.Go(func() {
+			mu.Lock()
+			for i := 0; i < rounds; i++ {
+				turn = 1
+				cond.Broadcast()
+				for turn != 0 {
+					cond.Wait()
+				}
+			}
+			mu.Unlock()
+		})
+		var allocs float64
+		wg.Go(func() {
+			mu.Lock()
+			// Warm one round, then measure.
+			allocs = testing.AllocsPerRun(rounds-1, func() {
+				for turn != 1 {
+					cond.Wait()
+				}
+				turn = 0
+				cond.Broadcast()
+			})
+			mu.Unlock()
+		})
+		wg.Wait()
+		// AllocsPerRun rounds down; allow the warmup round's stragglers.
+		if allocs > 1 {
+			t.Errorf("Cond.Wait allocates %.1f objects per round, want ~0", allocs)
+		}
+	})
+}

@@ -1,10 +1,10 @@
 package vtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,55 +23,112 @@ var Epoch = time.Date(2000, time.November, 6, 8, 0, 0, 0, time.UTC)
 // simulation repeatable and lets hours of virtual time pass in
 // microseconds of real time.
 //
+// Event core: pending events live in a slot arena indexed by a 4-ary
+// int32 min-heap ordered on (due time, sequence); each slot carries its
+// heap position, so cancels and re-keys touch only the affected path.
+// Slots are recycled through a freelist the moment an event fires or is
+// cancelled, so timer-heavy workloads (AIMD window growth, loss sampling,
+// per-segment completions) run at zero steady-state allocation and a
+// cancel storm cannot grow the queue. Zero-delay events skip the heap and
+// ride a FIFO for the current instant. Sleep wakeups reuse a
+// per-goroutine parker (a cached channel) instead of allocating a channel
+// and a closure per call.
+//
 // Event callbacks scheduled with AfterFunc run at their due time, on the
 // goroutine that happened to advance the clock; they must not block.
 type Sim struct {
 	mu        sync.Mutex
 	now       time.Duration // offset from Epoch
-	queue     eventQueue
+	nowAtomic atomic.Int64  // mirror of now for lock-free reads
+	slots     []eventSlot   // arena of event slots
+	free      []int32       // recycled slot indices (LIFO)
+	heap      []heapEnt     // min-heap of (at, seq, slot) by (at, seq)
+	immQ      []int32       // FIFO of zero-delay slots due at the current instant
+	immHead   int           // index of the first live immQ entry
+	immLive   int           // immQ entries not yet cancelled
 	seq       uint64
 	runnable  int
 	advancing bool
 	parked    int
-	stopc     chan struct{}
-	stopped   bool
-	rng       *rand.Rand
-	rngMu     sync.Mutex
+	parkers   []*parker // freelist of Sleep parkers
+	// instantHook, when armed, runs once the current instant's events are
+	// exhausted — just before virtual time would advance. It replaces a
+	// zero-delay event on the highest-frequency path in the tree (the
+	// network allocator's flush): arming is an atomic flag flip instead of
+	// a schedule/pop cycle, and the hook's position (after every event due
+	// at this instant) is exactly where a zero-delay event would land,
+	// since only other zero-delay schedules can carry a later sequence at
+	// the same instant and the flush dedups itself.
+	instantHook func()
+	hookSet     atomic.Bool // instantHook != nil, readable without mu
+	hookArmed   atomic.Bool
+	// firing / rearm implement RearmFiring: while an event callback runs,
+	// its slot stays reserved and these fields pass a re-arm request back
+	// to the advance loop. They are only touched by the advancing
+	// goroutine (the callback runs on it), so no locking is involved.
+	firingID   EventID
+	rearmDelay time.Duration
+	stopc      chan struct{}
+	stopped    bool
+	rng        *rand.Rand
+	rngMu      sync.Mutex
 }
 
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int
+// eventSlot is one pending (or recycled) event. A slot is live while it
+// sits in the heap (heapIdx >= 0) or the immediate queue; state says
+// where. gen increments on every recycle, so a stale EventID can never
+// cancel the slot's next tenant.
+type eventSlot struct {
+	at      time.Duration
+	seq     uint64
+	gen     uint32
+	heapIdx int32 // position in heap, or -1
+	state   int32
+	fn      func()
+	wake    chan struct{} // parker channel to signal; nil for fn events
 }
 
-type eventQueue []*event
+// eventSlot states.
+const (
+	notQueued    = -1 // free, fired, or cancelled-and-recycled
+	immQueued    = -2 // pending in the immediate (zero-delay) FIFO
+	immCancelled = -3 // cancelled in place; recycled when its FIFO turn comes
+	inHeap       = -4 // pending in the event heap
+)
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// heapEnt is one heap entry: the ordering key packed next to the slot
+// index, so sift compares read the heap's own cache lines instead of
+// chasing pointers into the slot arena. The slot's heapIdx back-pointer
+// makes cancels and in-place re-keys O(depth) with no lazy-deletion
+// residue.
+type heapEnt struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index, q[j].index = i, j
+
+// EventID names one scheduled event for cancellation. The zero EventID is
+// "no event".
+type EventID uint64
+
+func makeEventID(slot int32, gen uint32) EventID {
+	return EventID(uint64(gen)<<32 | uint64(slot+1))
 }
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+
+func splitEventID(id EventID) (slot int32, gen uint32) {
+	return int32(uint32(id)) - 1, uint32(id >> 32)
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+
+// parker is a reusable wakeup channel for one parked goroutine.
+type parker struct {
+	ch chan struct{}
 }
 
 // NewSim returns a simulated clock whose random source is seeded with
@@ -90,18 +147,17 @@ type stoppedPanic struct{}
 // ErrStopped is returned by helpers that observe a torn-down simulation.
 var ErrStopped = fmt.Errorf("vtime: simulation stopped")
 
-// Now implements Clock.
+// Now implements Clock. The read is lock-free: virtual time has a single
+// writer (the advancing goroutine, under mu) mirrored through an atomic,
+// and within one event callback or one managed goroutine's runnable
+// window the clock cannot move, so the value is stable where it matters.
 func (s *Sim) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Epoch.Add(s.now)
+	return Epoch.Add(time.Duration(s.nowAtomic.Load()))
 }
 
 // Elapsed returns the virtual time elapsed since the simulation started.
 func (s *Sim) Elapsed() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return time.Duration(s.nowAtomic.Load())
 }
 
 // Rand returns a deterministic pseudo-random float64 in [0,1).
@@ -126,33 +182,327 @@ func (s *Sim) RandNorm(mean, stddev float64) float64 {
 	return s.rng.NormFloat64()*stddev + mean
 }
 
-// AfterFunc implements Clock.
-func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
-	if d < 0 {
-		d = 0
+// --- slot arena + heap (all methods called with s.mu held) ---
+
+// allocSlotLocked pops a recycled slot or grows the arena.
+func (s *Sim) allocSlotLocked() int32 {
+	if n := len(s.free); n > 0 {
+		i := s.free[n-1]
+		s.free = s.free[:n-1]
+		return i
+	}
+	s.slots = append(s.slots, eventSlot{state: notQueued, heapIdx: -1})
+	return int32(len(s.slots) - 1)
+}
+
+// freeSlotLocked recycles a fired or cancelled slot.
+func (s *Sim) freeSlotLocked(i int32) {
+	sl := &s.slots[i]
+	sl.fn = nil
+	sl.wake = nil
+	sl.state = notQueued
+	sl.heapIdx = -1
+	sl.gen++
+	s.free = append(s.free, i)
+}
+
+// The heap is 4-ary: half the depth of a binary heap, so pops — the
+// dominant operation in an event loop — do half the level moves, at the
+// cost of more (cheap, in-cache) compares per level. Pop order is
+// arity-independent: (at, seq) is a total order. Sifts hole-shift the
+// moving entry instead of swapping pairwise, writing each displaced
+// entry's heapIdx once.
+func (s *Sim) siftUpLocked(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.slots[h[p].slot].heapIdx = int32(i)
+		i = p
+	}
+	h[i] = e
+	s.slots[e.slot].heapIdx = int32(i)
+}
+
+func (s *Sim) siftDownLocked(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for c++; c < end; c++ {
+			if entLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !entLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		s.slots[h[m].slot].heapIdx = int32(i)
+		i = m
+	}
+	h[i] = e
+	s.slots[e.slot].heapIdx = int32(i)
+}
+
+// pushEventLocked enters a filled slot into the heap.
+func (s *Sim) pushEventLocked(i int32) {
+	sl := &s.slots[i]
+	sl.state = inHeap
+	sl.heapIdx = int32(len(s.heap))
+	s.heap = append(s.heap, heapEnt{at: sl.at, seq: sl.seq, slot: i})
+	s.siftUpLocked(len(s.heap) - 1)
+}
+
+// removeEventLocked detaches the slot at heap position pos, restoring the
+// heap property around the entry moved into its place.
+func (s *Sim) removeEventLocked(pos int) {
+	last := len(s.heap) - 1
+	s.slots[s.heap[pos].slot].heapIdx = -1
+	if pos != last {
+		s.heap[pos] = s.heap[last]
+		s.heap = s.heap[:last]
+		s.slots[s.heap[pos].slot].heapIdx = int32(pos)
+		s.siftDownLocked(pos)
+		s.siftUpLocked(pos)
+	} else {
+		s.heap = s.heap[:last]
+	}
+}
+
+// popEventLocked removes and returns the earliest heap slot index (-1 if
+// none).
+func (s *Sim) popEventLocked() int32 {
+	if len(s.heap) == 0 {
+		return -1
+	}
+	i := s.heap[0].slot
+	s.removeEventLocked(0)
+	s.slots[i].state = notQueued
+	return i
+}
+
+// scheduleLocked enters an event (fn callback or parker wakeup) due after
+// d and returns its id. Zero-delay events — due at the current instant, a
+// constant stream on the allocator flush path — skip the heap entirely
+// and ride a FIFO: same (at, seq) firing order, O(1) instead of two
+// O(log n) sifts per event.
+func (s *Sim) scheduleLocked(d time.Duration, fn func(), wake chan struct{}) EventID {
+	i := s.allocSlotLocked()
+	sl := &s.slots[i]
+	sl.seq = s.seq
+	sl.fn = fn
+	sl.wake = wake
+	s.seq++
+	if d <= 0 {
+		sl.at = s.now
+		sl.state = immQueued
+		s.immQ = append(s.immQ, i)
+		s.immLive++
+		return makeEventID(i, sl.gen)
+	}
+	sl.at = s.now + d
+	s.pushEventLocked(i)
+	return makeEventID(i, sl.gen)
+}
+
+// popNextLocked removes and returns the globally earliest pending slot by
+// (at, seq), merging the immediate FIFO with the heap; -1 if none.
+// Immediate entries are due at the instant they were scheduled, so the
+// FIFO is drained (in seq order) before virtual time can pass it — the
+// only contest is against heap events due at the same instant with an
+// earlier sequence number.
+func (s *Sim) popNextLocked() int32 {
+	// Reap cancelled-in-place immediate entries.
+	for s.immHead < len(s.immQ) {
+		i := s.immQ[s.immHead]
+		if s.slots[i].state != immCancelled {
+			break
+		}
+		s.immHead++
+		s.freeSlotLocked(i)
+	}
+	if s.immHead == len(s.immQ) {
+		s.immQ = s.immQ[:0]
+		s.immHead = 0
+		return s.popEventLocked()
+	}
+	im := s.immQ[s.immHead]
+	if len(s.heap) > 0 {
+		sl := &s.slots[im]
+		if entLess(s.heap[0], heapEnt{at: sl.at, seq: sl.seq, slot: im}) {
+			return s.popEventLocked()
+		}
+	}
+	s.immHead++
+	s.immLive--
+	s.slots[im].state = notQueued
+	return im
+}
+
+// Schedule arms fn to run after d on the clock's event context, exactly
+// like AfterFunc, but hands back a plain EventID instead of a Timer so
+// hot paths that cache their callback closures can schedule and cancel
+// with zero heap allocation.
+func (s *Sim) Schedule(d time.Duration, fn func()) EventID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduleLocked(d, fn, nil)
+}
+
+// Reschedule moves a pending event to fire after d with callback fn and
+// returns its id. A zero, stale, or already-fired id arms fn afresh,
+// exactly like Schedule. A still-pending heap event is re-keyed in place
+// — one sift along its heap path under a single lock acquisition,
+// instead of two lock cycles, a removal and a push. The re-keyed event
+// takes a fresh sequence number, exactly as a cancel-and-schedule would.
+func (s *Sim) Reschedule(id EventID, d time.Duration, fn func()) EventID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id != 0 {
+		slot, gen := splitEventID(id)
+		if slot >= 0 && int(slot) < len(s.slots) {
+			sl := &s.slots[slot]
+			if sl.gen == gen && sl.state == inHeap && d > 0 {
+				sl.at = s.now + d
+				sl.seq = s.seq
+				s.seq++
+				sl.fn = fn
+				pos := int(sl.heapIdx)
+				s.heap[pos].at = sl.at
+				s.heap[pos].seq = sl.seq
+				s.siftDownLocked(pos)
+				s.siftUpLocked(pos)
+				return id
+			}
+		}
+		s.cancelLocked(id)
+	}
+	return s.scheduleLocked(d, fn, nil)
+}
+
+// RearmFiring re-arms the event whose callback is currently executing to
+// fire again after d (which must be positive) with the same callback, and
+// returns its id — unchanged, since the slot is never recycled. It must
+// be called only from within that event's own callback; periodic events
+// (per-RTT window growth) re-arm themselves this way with a plain field
+// write instead of a full lock/allocate/push cycle per period. The push
+// happens when the callback returns, so the re-armed event's sequence
+// number follows any the callback scheduled itself; ordering is
+// unaffected at distinct instants, which d > 0 guarantees here.
+func (s *Sim) RearmFiring(d time.Duration) EventID {
+	s.rearmDelay = d
+	return s.firingID
+}
+
+// Cancel revokes a pending event. It reports whether the call prevented
+// the event from firing; a zero, stale, or already-fired id is a no-op.
+// The event's slot is recycled immediately, so cancelled timers do not
+// linger in the queue.
+func (s *Sim) Cancel(id EventID) bool {
+	if id == 0 {
+		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ev := &event{at: s.now + d, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return &simTimer{s: s, ev: ev}
+	return s.cancelLocked(id)
+}
+
+func (s *Sim) cancelLocked(id EventID) bool {
+	slot, gen := splitEventID(id)
+	if slot < 0 || int(slot) >= len(s.slots) {
+		return false
+	}
+	sl := &s.slots[slot]
+	if sl.gen != gen {
+		return false // already fired and slot re-used
+	}
+	switch sl.state {
+	case inHeap:
+		s.removeEventLocked(int(sl.heapIdx))
+		s.freeSlotLocked(slot)
+		return true
+	case immQueued:
+		// Mid-FIFO removal would be O(n); mark the entry dead in place and
+		// let popNextLocked recycle the slot when its turn comes. Rare:
+		// zero-delay events nearly always fire.
+		sl.state = immCancelled
+		sl.fn = nil
+		sl.wake = nil
+		s.immLive--
+		return true
+	}
+	return false // already fired or cancelled
+}
+
+// PendingEvents reports the number of events currently queued — cancelled
+// timers are recycled (eagerly in the heap, at their FIFO turn in the
+// immediate queue) and never count.
+func (s *Sim) PendingEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heap) + s.immLive
+}
+
+// AfterFunc implements Clock.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	s.mu.Lock()
+	id := s.scheduleLocked(d, fn, nil)
+	s.mu.Unlock()
+	return &simTimer{s: s, id: id}
 }
 
 type simTimer struct {
 	s  *Sim
-	ev *event
+	id EventID
 }
 
-// Stop cancels the pending event.
-func (t *simTimer) Stop() bool {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
-	if t.ev.cancelled {
-		return false
+// Stop cancels the pending event and recycles its queue slot.
+func (t *simTimer) Stop() bool { return t.s.Cancel(t.id) }
+
+// SetInstantHook registers fn to run whenever the hook is armed and the
+// current instant's pending events are exhausted (immediately before
+// virtual time advances past the instant). One hook per clock; fn runs
+// like an event callback — without the clock's lock held — and must not
+// block. It may arm the hook again for the same instant.
+func (s *Sim) SetInstantHook(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.instantHook = fn
+	s.hookSet.Store(fn != nil)
+}
+
+// ArmInstantHook schedules the registered hook to fire at the end of the
+// current instant. Arming an already-armed hook is a no-op. The arm is a
+// lock-free flag flip: on the allocator flush path it runs once per dirty
+// event, and taking the clock lock here would add a full mutex cycle to
+// every window-growth tick.
+func (s *Sim) ArmInstantHook() {
+	if s.hookSet.Load() {
+		s.hookArmed.Store(true)
 	}
-	t.ev.cancelled = true
-	return true
+}
+
+// nextDueNowLocked reports whether some pending event is due at the
+// current instant.
+func (s *Sim) nextDueNowLocked() bool {
+	if s.immLive > 0 {
+		return true
+	}
+	return len(s.heap) > 0 && s.heap[0].at <= s.now
 }
 
 // NewCond implements Clock.
@@ -210,14 +560,39 @@ func (s *Sim) exit() {
 	s.mu.Unlock()
 }
 
-// Sleep implements Clock. The caller must be a managed goroutine.
+// Sleep implements Clock. The caller must be a managed goroutine. The
+// wakeup reuses a pooled parker and a wake-typed event slot, so a
+// steady-state Sleep performs no heap allocation.
 func (s *Sim) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	ch := make(chan struct{}, 1)
-	s.AfterFunc(d, func() { s.unpark(ch) })
-	s.park(ch)
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		panic(stoppedPanic{})
+	}
+	var p *parker
+	if n := len(s.parkers); n > 0 {
+		p = s.parkers[n-1]
+		s.parkers = s.parkers[:n-1]
+	} else {
+		p = &parker{ch: make(chan struct{}, 1)}
+	}
+	s.scheduleLocked(d, nil, p.ch)
+	s.runnable--
+	s.parked++
+	s.maybeAdvanceLocked()
+	s.mu.Unlock()
+	select {
+	case <-p.ch:
+	case <-s.stopc:
+		panic(stoppedPanic{})
+	}
+	s.mu.Lock()
+	s.parked--
+	s.parkers = append(s.parkers, p)
+	s.mu.Unlock()
 }
 
 // park suspends the calling managed goroutine until ch is signalled. If
@@ -252,29 +627,59 @@ func (s *Sim) unpark(ch chan struct{}) {
 }
 
 // maybeAdvanceLocked fires pending events while no managed goroutine is
-// runnable. Called with s.mu held; callbacks run with s.mu released.
+// runnable. Called with s.mu held; fn callbacks run with s.mu released,
+// while parker wakeups are delivered inline under the lock (the wake
+// channel is buffered and carries at most one pending signal, so the send
+// cannot block).
 func (s *Sim) maybeAdvanceLocked() {
 	for s.runnable == 0 && s.parked > 0 && !s.advancing && !s.stopped {
-		var ev *event
-		for len(s.queue) > 0 {
-			e := heap.Pop(&s.queue).(*event)
-			if !e.cancelled {
-				ev = e
-				break
-			}
+		if s.hookArmed.Load() && !s.nextDueNowLocked() {
+			// End of the current instant: run the hook before advancing.
+			s.hookArmed.Store(false)
+			fn := s.instantHook
+			s.advancing = true
+			s.mu.Unlock()
+			fn()
+			s.mu.Lock()
+			s.advancing = false
+			continue
 		}
-		if ev == nil {
+		i := s.popNextLocked()
+		if i < 0 {
 			n := s.parked
 			s.mu.Unlock()
 			panic(fmt.Sprintf("vtime: deadlock: %d goroutine(s) parked with no pending events", n))
 		}
-		if ev.at > s.now {
-			s.now = ev.at
+		sl := &s.slots[i]
+		if sl.at > s.now {
+			s.now = sl.at
+			s.nowAtomic.Store(int64(sl.at))
 		}
+		if sl.wake != nil {
+			ch := sl.wake
+			s.freeSlotLocked(i)
+			s.runnable++
+			ch <- struct{}{} // buffered; never blocks
+			continue
+		}
+		// The slot stays reserved (not freed) while fn runs so RearmFiring
+		// can reclaim it; schedules made inside fn draw other slots.
+		fn := sl.fn
+		s.firingID = makeEventID(i, sl.gen)
+		s.rearmDelay = -1
 		s.advancing = true
 		s.mu.Unlock()
-		ev.fn()
+		fn()
 		s.mu.Lock()
 		s.advancing = false
+		if d := s.rearmDelay; d > 0 {
+			sl = &s.slots[i] // fn may have grown the arena
+			sl.at = s.now + d
+			sl.seq = s.seq
+			s.seq++
+			s.pushEventLocked(i)
+		} else {
+			s.freeSlotLocked(i)
+		}
 	}
 }

@@ -75,33 +75,27 @@ func (Real) AfterFunc(d time.Duration, fn func()) Timer { return time.AfterFunc(
 func (Real) NewCond(l sync.Locker) Cond { return newChanCond(Real{}, l) }
 
 // chanCond is a channel-based condition variable that works for any Clock;
-// it implements timeouts by racing a waiter wakeup against an AfterFunc.
+// it implements timeouts by racing a waiter wakeup against a scheduled
+// timeout event. Waiter state transitions (fired, timed out, list
+// membership) all happen under c.mu, so a timed-out waiter is removed
+// from the list before Signal can see it, and — on a Sim clock — retired
+// waiters can be recycled through a freelist without any wakeup racing a
+// stale pointer. Steady-state Wait/Signal on a Sim clock allocates
+// nothing.
 type chanCond struct {
 	clk Clock
 	l   sync.Locker
 
 	mu      sync.Mutex
 	waiters []*waiter
+	free    []*waiter // recycled waiters (Sim clock only)
 }
 
 type waiter struct {
-	mu       sync.Mutex
-	ch       chan struct{}
-	fired    bool
-	timedOut bool
-}
-
-// fire claims the waiter for either a signal or a timeout. It reports
-// whether the caller won the race (and so must deliver the wakeup).
-func (w *waiter) fire(timeout bool) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.fired {
-		return false
-	}
-	w.fired = true
-	w.timedOut = timeout
-	return true
+	ch        chan struct{}
+	fired     bool // claimed by a signal, broadcast, or timeout (under c.mu)
+	timedOut  bool
+	timeoutFn func() // cached timeout callback (Sim clock only)
 }
 
 func newChanCond(clk Clock, l sync.Locker) *chanCond {
@@ -113,32 +107,76 @@ func (c *chanCond) Wait() { c.wait(-1) }
 func (c *chanCond) WaitTimeout(d time.Duration) bool { return c.wait(d) }
 
 func (c *chanCond) wait(d time.Duration) bool {
-	w := &waiter{ch: make(chan struct{}, 1)}
+	sim, isSim := c.clk.(*Sim)
 	c.mu.Lock()
+	var w *waiter
+	if n := len(c.free); n > 0 {
+		w = c.free[n-1]
+		c.free = c.free[:n-1]
+		w.fired, w.timedOut = false, false
+	} else {
+		w = &waiter{ch: make(chan struct{}, 1)}
+		if isSim {
+			w.timeoutFn = func() { c.timeout(w) }
+		}
+	}
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
 
+	var id EventID
 	var t Timer
 	if d >= 0 {
-		t = c.clk.AfterFunc(d, func() {
-			if w.fire(true) {
-				c.wake(w)
-			}
-		})
+		if isSim {
+			id = sim.Schedule(d, w.timeoutFn)
+		} else {
+			t = c.clk.AfterFunc(d, func() { c.timeout(w) })
+		}
 	}
 	c.l.Unlock()
 	// Relock even if await unwinds via the simulation-teardown panic, so
 	// callers' deferred Unlocks stay balanced.
 	defer c.l.Lock()
 	c.await(w)
-	if t != nil {
-		t.Stop()
+	cancelled := false
+	if id != 0 {
+		cancelled = sim.Cancel(id)
+	} else if t != nil {
+		cancelled = t.Stop()
 	}
-	return !w.timedOut
+	timedOut := w.timedOut
+	// Recycle only when no timeout callback can still hold a reference:
+	// either it already ran (timedOut) or it was provably cancelled. A
+	// signalled waiter whose cancel lost the race is simply dropped.
+	if isSim && (timedOut || cancelled || d < 0) {
+		c.mu.Lock()
+		c.free = append(c.free, w)
+		c.mu.Unlock()
+	}
+	return !timedOut
+}
+
+// timeout is the deadline callback: it claims the waiter, removes it from
+// the wait list so signals skip it, and delivers its wakeup.
+func (c *chanCond) timeout(w *waiter) {
+	c.mu.Lock()
+	if w.fired {
+		c.mu.Unlock()
+		return
+	}
+	w.fired = true
+	w.timedOut = true
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	c.wakeLocked(w)
+	c.mu.Unlock()
 }
 
 // await blocks until the waiter's channel is signalled. Sim overrides the
-// blocking via parkCond; for Real this is a plain channel receive.
+// blocking via park; for Real this is a plain channel receive.
 func (c *chanCond) await(w *waiter) {
 	if s, ok := c.clk.(*Sim); ok {
 		s.park(w.ch)
@@ -148,36 +186,31 @@ func (c *chanCond) await(w *waiter) {
 }
 
 func (c *chanCond) Signal() {
-	for {
-		c.mu.Lock()
-		if len(c.waiters) == 0 {
-			c.mu.Unlock()
-			return
-		}
+	c.mu.Lock()
+	// Every waiter still in the list is live: timeouts remove themselves.
+	if len(c.waiters) > 0 {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
-		c.mu.Unlock()
-		if w.fire(false) {
-			c.wake(w)
-			return
-		}
-		// That waiter had already timed out; try the next one.
+		w.fired = true
+		c.wakeLocked(w)
 	}
+	c.mu.Unlock()
 }
 
 func (c *chanCond) Broadcast() {
 	c.mu.Lock()
-	ws := c.waiters
-	c.waiters = nil
-	c.mu.Unlock()
-	for _, w := range ws {
-		if w.fire(false) {
-			c.wake(w)
-		}
+	for _, w := range c.waiters {
+		w.fired = true
+		c.wakeLocked(w)
 	}
+	c.waiters = c.waiters[:0]
+	c.mu.Unlock()
 }
 
-func (c *chanCond) wake(w *waiter) {
+// wakeLocked delivers a wakeup with c.mu held; the waiter channel is
+// buffered and carries at most one pending signal, so the send cannot
+// block.
+func (c *chanCond) wakeLocked(w *waiter) {
 	if s, ok := c.clk.(*Sim); ok {
 		s.unpark(w.ch)
 		return

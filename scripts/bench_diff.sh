@@ -1,0 +1,70 @@
+#!/bin/sh
+# Benchmark regression gate: compare two snapshots written by
+# scripts/bench.sh and exit nonzero when any benchmark regressed beyond
+# tolerance. Improvements and new benchmarks never fail the gate;
+# benchmarks present only in the base are reported as dropped.
+#
+# Usage: scripts/bench_diff.sh BASE.json NEW.json
+#
+# Tolerances are percentages of the base value:
+#   BENCH_DIFF_NS_TOL     ns/op regression allowance (default 20; wall
+#                         time is noisy under -benchtime=1x, so CI may
+#                         want a much looser bound here)
+#   BENCH_DIFF_ALLOC_TOL  allocs/op regression allowance (default 20;
+#                         allocation counts are near-deterministic)
+set -eu
+base=${1:?usage: bench_diff.sh BASE.json NEW.json}
+new=${2:?usage: bench_diff.sh BASE.json NEW.json}
+
+awk -v ns_tol="${BENCH_DIFF_NS_TOL:-20}" \
+    -v alloc_tol="${BENCH_DIFF_ALLOC_TOL:-20}" \
+    -v basefile="$base" -v newfile="$new" '
+function num(s, key,    m) {
+    if (match(s, "\"" key "\": *[0-9.eE+-]+")) {
+        m = substr(s, RSTART, RLENGTH)
+        sub(/^.*: */, "", m)
+        return m + 0
+    }
+    return -1
+}
+function pct(old, cur) {
+    if (old > 0) return (cur - old) * 100 / old
+    return cur > 0 ? 1e9 : 0 # growth from zero is an infinite regression
+}
+# Each snapshot line is one benchmark entry; the name is the first
+# quoted string.
+/"ns_per_op"/ {
+    split($0, q, "\"")
+    name = q[2]
+    if (NR == FNR) {
+        bns[name] = num($0, "ns_per_op")
+        bal[name] = num($0, "allocs_per_op")
+        order[++nbase] = name
+    } else {
+        nns[name] = num($0, "ns_per_op")
+        nal[name] = num($0, "allocs_per_op")
+        if (!(name in bns)) printf "NEW        %-45s %.0f ns/op, %.0f allocs/op\n", name, nns[name], nal[name]
+    }
+    next
+}
+END {
+    fail = 0
+    for (i = 1; i <= nbase; i++) {
+        name = order[i]
+        if (!(name in nns)) {
+            printf "DROPPED    %-45s was %.0f ns/op in %s\n", name, bns[name], basefile
+            continue
+        }
+        dns = pct(bns[name], nns[name])
+        dal = pct(bal[name], nal[name])
+        status = "ok"
+        if (dns > ns_tol)    { status = "REGRESSION(ns/op)";     fail = 1 }
+        if (dal > alloc_tol) { status = "REGRESSION(allocs/op)"; fail = 1 }
+        printf "%-10s %-45s ns/op %+9.1f%%   allocs/op %+9.1f%%\n", status, name, dns, (dal >= 1e9 ? 999.9 : dal)
+    }
+    if (fail) {
+        printf "bench_diff: regressions beyond tolerance (ns/op %s%%, allocs/op %s%%) vs %s\n", ns_tol, alloc_tol, basefile > "/dev/stderr"
+        exit 1
+    }
+    printf "bench_diff: %d benchmark(s) within tolerance of %s\n", nbase, basefile
+}' "$base" "$new"
