@@ -6,7 +6,8 @@
 // Usage:
 //
 //	esgbench [-exp all|table1|figure8|chancache|parallel|buffers|stripes|
-//	               replicasel|multisite|hrm|largefile|cpu|nws|chaos|monitor|demo]
+//	               replicasel|multisite|hrm|largefile|cpu|nws|chaos|monitor|
+//	               provenance|demo]
 //	         [-full] [-seed N] [-alerts s14.jsonl]
 //
 // -full runs the paper-scale durations (1 h Table 1, 14 h Figure 8);
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, lifeline, chaos, monitor, demo)")
+	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, lifeline, chaos, monitor, provenance, demo)")
 	full := flag.Bool("full", false, "paper-scale durations (1h Table 1, 14h Figure 8)")
 	seed := flag.Int64("seed", 2000, "simulation seed")
 	flag.StringVar(&traceFile, "trace", "", "write the lifeline experiment's event stream to this file (.jsonl for JSONL, anything else for ULM)")
@@ -51,10 +52,11 @@ func main() {
 		"lifeline":   runLifeline,
 		"chaos":      runChaos,
 		"monitor":    runMonitor,
+		"provenance": runProvenance,
 		"demo":       runDemo,
 	}
 	order := []string{"table1", "figure8", "chancache", "parallel", "buffers", "stripes",
-		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "chaos", "monitor", "demo"}
+		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "chaos", "monitor", "provenance", "demo"}
 
 	var selected []string
 	if *expFlag == "all" {
@@ -380,6 +382,27 @@ func runMonitor(seed int64, full bool) error {
 		}
 		fmt.Printf("wrote labeled alert stream to %s\n", alertsFile)
 	}
+	return nil
+}
+
+func runProvenance(seed int64, full bool) error {
+	cfg := experiments.DefaultProvenanceConfig()
+	cfg.Seed = seed
+	faults := 8
+	if full {
+		cfg.Files = 4
+		cfg.FileMB = 16
+		faults = 16
+	}
+	header("S15 — causal event provenance: why did this retry fire?",
+		"the SC'00 operators diagnosed Figure 8's gaps by eye; the flight recorder answers causally")
+	r, err := experiments.RunProvenance(cfg, faults)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Table("measured (flight recorder attached to the S13 chaos run):", r.Rows()))
+	fmt.Println("\nprovenance chain (root cause first):")
+	fmt.Print(r.Chart)
 	return nil
 }
 

@@ -1,0 +1,152 @@
+// Command esgprof is the simulation harness's core profiler and
+// flight-dump inspector. It answers the two questions the bandwidth
+// plots of the SC'00 demo could not: what is the event core doing
+// right now (vitals), and *why* did a given event fire (provenance).
+//
+// Usage:
+//
+//	esgprof -dump run.flight.jsonl [-chain seq|site] [-sites] [-tail N]
+//	esgprof [-seed N] [-faults N] [-wall]
+//
+// Dump mode reads a flight-recorder JSONL dump (written by
+// Recorder.DumpToFile, e.g. the CI artifact of a failed chaos soak)
+// and renders its per-site activity table, the last N raw records, or
+// the causal chain of one event: -chain accepts an event sequence
+// number, or a site name to walk back from that site's most recent
+// fire ("rm.retry-backoff" answers "why did the RM last retry?").
+//
+// Live mode runs the S15 chaos replication workload with the recorder
+// and profiler attached and prints the full panel: core vitals,
+// per-site event counts, the provenance chain of the run's last retry
+// and, with -wall, the sampled wall-time attribution per site.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"esgrid/internal/experiments"
+	"esgrid/internal/flight"
+)
+
+func main() {
+	dumpFile := flag.String("dump", "", "inspect a flight dump instead of running the live demo")
+	chainSpec := flag.String("chain", "", "provenance chain of an event: a seq number or a site name (last fire wins)")
+	sites := flag.Bool("sites", true, "print the per-site activity table")
+	tail := flag.Int("tail", 0, "print the last N raw records of the dump")
+	seed := flag.Int64("seed", 15, "live mode: simulation seed")
+	faults := flag.Int("faults", 8, "live mode: injected fault count")
+	wall := flag.Bool("wall", false, "live mode: sampled wall-time attribution per site")
+	out := flag.String("o", "", "live mode: also write the run's flight dump to this file")
+	flag.Parse()
+
+	var err error
+	if *dumpFile != "" {
+		err = inspect(*dumpFile, *chainSpec, *sites, *tail)
+	} else {
+		err = live(*seed, *faults, *chainSpec, *sites, *wall, *out)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "esgprof: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// inspect renders a dump file: stats line, site table, optional raw
+// tail and optional chain.
+func inspect(path, chainSpec string, sites bool, tail int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := flight.ParseDump(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records", path, len(recs))
+	if len(recs) > 0 {
+		fmt.Printf(", t=%.6fs .. %.6fs", float64(recs[0].At)/1e9, float64(recs[len(recs)-1].At)/1e9)
+	}
+	fmt.Println()
+	if sites {
+		fmt.Println()
+		fmt.Print(flight.RenderSites(recs))
+	}
+	if tail > 0 {
+		fmt.Printf("\nlast %d records:\n", tail)
+		start := len(recs) - tail
+		if start < 0 {
+			start = 0
+		}
+		for _, rec := range recs[start:] {
+			fmt.Print(flight.FormatChain([]flight.Record{rec}))
+		}
+	}
+	if chainSpec != "" {
+		return printChain(recs, chainSpec)
+	}
+	return nil
+}
+
+// printChain resolves spec (seq number or site name) against recs and
+// prints the causal chain, root cause first.
+func printChain(recs []flight.Record, spec string) error {
+	var seq uint64
+	if n, err := strconv.ParseUint(spec, 10, 64); err == nil {
+		seq = n
+	} else {
+		rec, ok := flight.LastBySite(recs, spec)
+		if !ok {
+			return fmt.Errorf("no retained fire at site %q", spec)
+		}
+		seq = rec.Seq
+	}
+	chain := flight.ChainOf(recs, seq)
+	if len(chain) == 0 {
+		return fmt.Errorf("event seq %d not in the retained window", seq)
+	}
+	fmt.Printf("\nprovenance of seq %d (%d hops, root cause first):\n", seq, len(chain))
+	fmt.Print(flight.FormatChain(chain))
+	return nil
+}
+
+// live runs the S15 chaos workload and prints the profiler panel.
+func live(seed int64, faults int, chainSpec string, sites, wall bool, out string) error {
+	cfg := experiments.DefaultProvenanceConfig()
+	cfg.Seed = seed
+	cfg.WallProfile = wall
+	res, err := experiments.RunProvenance(cfg, faults)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Run.Vitals.Render())
+	recs := res.Run.Flight.Records()
+	if sites {
+		fmt.Println()
+		fmt.Print(flight.RenderSites(recs))
+	}
+	fmt.Println()
+	if chainSpec != "" {
+		if err := printChain(recs, chainSpec); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("provenance of the run's last retry (seq %d, root cause first):\n", res.Retry.Seq)
+		fmt.Print(res.Chart)
+	}
+	if wall && res.Run.WallText != "" {
+		fmt.Println()
+		fmt.Print(res.Run.WallText)
+	}
+	if out != "" {
+		n, err := res.Run.Flight.DumpToFile(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d records to %s\n", n, out)
+	}
+	return nil
+}

@@ -23,6 +23,10 @@ import (
 	"esgrid/internal/vtime"
 )
 
+// Provenance site tag(s) for the delays this package schedules on
+// the virtual clock (flight-recorder attribution).
+var siteFault = vtime.RegisterSite("chaos.fault")
+
 // Kind names a fault type.
 type Kind string
 
@@ -370,5 +374,5 @@ func (r *Runner) Apply(s Schedule) error {
 }
 
 func (r *Runner) at(d time.Duration, fn func()) {
-	r.clk.AfterFunc(d, fn)
+	vtime.AfterFuncTagged(r.clk, siteFault, d, fn)
 }

@@ -8,6 +8,7 @@ import (
 
 	"esgrid/internal/chaos"
 	"esgrid/internal/esgrpc"
+	"esgrid/internal/flight"
 	"esgrid/internal/gridftp"
 	"esgrid/internal/hrm"
 	"esgrid/internal/ldapd"
@@ -39,6 +40,10 @@ type ChaosConfig struct {
 	MaxOutage    time.Duration
 	RetryBackoff time.Duration
 	MaxAttempts  int
+	// WallProfile turns on the sampled wall-time core profiler for this
+	// run (host-machine measurements: useful interactively via esgprof,
+	// never part of the deterministic record stream).
+	WallProfile bool
 }
 
 // DefaultChaosConfig keeps runs small enough for the test suite while
@@ -68,7 +73,23 @@ type ChaosRun struct {
 	Files       []chaos.FileResult
 	Report      chaos.Report
 	JSONL       string
+	// Flight is the run's always-on flight recorder: the retained core
+	// event window plus connection/allocator records, ready to dump when
+	// an invariant audit fails or to walk a retry's provenance chain.
+	Flight *flight.Recorder
+	// Vitals is the core profiler's end-of-run snapshot (event core,
+	// ring occupancy, CSR-cache hit rate).
+	Vitals flight.Vitals
+	// WallText is the rendered wall-attribution table when
+	// Config.WallProfile was set (empty otherwise).
+	WallText string
 }
+
+// flightDisabled turns off the always-on recorder for the
+// pure-observer test, which proves an instrumented run and a bare run
+// of the same seed produce byte-identical event streams. Never set
+// outside tests.
+var flightDisabled bool
 
 // GoodputBps is useful payload delivered per wall second.
 func (r ChaosRun) GoodputBps(totalBytes int64) float64 {
@@ -144,6 +165,18 @@ func RunChaosSchedule(cfg ChaosConfig, sched chaos.Schedule) (ChaosRun, error) {
 	}
 	clk := vtime.NewSim(cfg.Seed)
 	n := simnet.New(clk)
+	// The flight recorder rides along on every chaos run: core events via
+	// the clock tap, connection transitions and allocator passes via the
+	// simnet hook. It records only into preallocated rings, so it cannot
+	// perturb the event stream (TestChaosFlightPureObserver pins this).
+	rec := flight.New(0, 0)
+	if !flightDisabled {
+		rec.AttachCore(clk)
+		n.AttachFlight(rec)
+	}
+	if cfg.WallProfile {
+		clk.EnableWallProfile()
+	}
 	log := netlogger.NewLog(clk)
 	tracer := netlogger.NewTracer(clk, log)
 	metrics := netlogger.NewRegistry(clk)
@@ -211,7 +244,7 @@ func RunChaosSchedule(cfg ChaosConfig, sched chaos.Schedule) (ChaosRun, error) {
 	}
 
 	dest := gridftp.NewMemStore()
-	run := ChaosRun{}
+	run := ChaosRun{Flight: rec}
 	var statuses []rm.FileStatus
 	var rerr error
 	clk.Run(func() {
@@ -289,6 +322,14 @@ func RunChaosSchedule(cfg ChaosConfig, sched chaos.Schedule) (ChaosRun, error) {
 		// deterministically.
 		clk.Sleep(2 * time.Second)
 	})
+	// End-of-run profiler snapshot. CoreStats cycles the Sim's lock,
+	// which also establishes the happens-before edge the recorder's
+	// quiescence contract requires before reading its rings.
+	run.Vitals = flight.Vitals{Core: clk.CoreStats(), Rec: rec.Stats()}
+	run.Vitals.CSRHits, run.Vitals.CSRLookups = n.CSRStats()
+	if cfg.WallProfile {
+		run.WallText = flight.WallReport(clk)
+	}
 	if rerr != nil && statuses == nil {
 		return run, rerr
 	}

@@ -1,10 +1,32 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"esgrid/internal/chaos"
 )
+
+// dumpFlightOnFailure writes a failed run's flight-recorder dump to
+// $ESG_FLIGHT_DIR (CI sets it and uploads the directory as an artifact
+// when the job fails), so a red soak run ships the core event window
+// that led up to the violation alongside its replay seed.
+func dumpFlightOnFailure(t *testing.T, run ChaosRun, tag string) {
+	t.Helper()
+	dir := os.Getenv("ESG_FLIGHT_DIR")
+	if dir == "" || run.Flight == nil {
+		return
+	}
+	path := filepath.Join(dir, tag+".flight.jsonl")
+	n, err := run.Flight.DumpToFile(path)
+	if err != nil {
+		t.Logf("flight recorder: dump failed: %v", err)
+		return
+	}
+	t.Logf("flight recorder: wrote %d records to %s", n, path)
+}
 
 // soakConfig keeps each soak run small: two 8 MB files, still real
 // bytes end to end so the hash invariant has teeth.
@@ -60,10 +82,12 @@ func TestChaosSoak(t *testing.T) {
 		run, err := RunChaosSchedule(cfg, sched)
 		if err != nil {
 			t.Errorf("replay: ChaosScheduleFor(soakConfig(%d), %d, %d): run error: %v", seed, seed, faults, err)
+			dumpFlightOnFailure(t, run, fmt.Sprintf("soak-seed%d", seed))
 			continue
 		}
 		if err := run.Report.Err(); err != nil {
 			t.Errorf("replay: ChaosScheduleFor(soakConfig(%d), %d, %d): %v", seed, seed, faults, err)
+			dumpFlightOnFailure(t, run, fmt.Sprintf("soak-seed%d", seed))
 		}
 	}
 	if len(kinds) < 4 {

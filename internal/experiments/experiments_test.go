@@ -335,6 +335,15 @@ func TestScaleSweepRuns(t *testing.T) {
 		if c >= 256 && perPass > float64(c) {
 			t.Errorf("%d clients: %.1f flows/pass — allocator is not component-scoped", c, perPass)
 		}
+		// Per-client latency tails: every client observed, quantiles
+		// ordered, and the p999 client bounded by the slowest one.
+		tl := r.Lat[i]
+		if tl.N != int64(c) {
+			t.Errorf("%d clients: latency histogram saw %d observations", c, tl.N)
+		}
+		if tl.P50 <= 0 || tl.P50 > tl.P99 || tl.P99 > tl.P999*1.0001 || tl.P999 > tl.Max*1.0001 {
+			t.Errorf("%d clients: tail quantiles out of order: %+v", c, tl)
+		}
 	}
 	if len(r.Rows()) != len(r.Clients) {
 		t.Error("rows mismatch")

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"esgrid/internal/chaos"
+	"esgrid/internal/flight"
 	"esgrid/internal/gridftp"
 	"esgrid/internal/netlogger"
 	"esgrid/internal/simnet"
@@ -112,6 +113,9 @@ func RunFigure8(cfg Figure8Config) (Figure8Result, error) {
 	}
 	clk := vtime.NewSim(cfg.Seed)
 	n := simnet.New(clk)
+	rec := flight.New(0, 0)
+	rec.AttachCore(clk)
+	n.AttachFlight(rec)
 
 	// Dallas workstation -> commodity internet -> ANL workstation. The
 	// destination's disk bounds the useful rate (§7: "most likely due to

@@ -7,6 +7,7 @@ import (
 
 	"esgrid/internal/chaos"
 	"esgrid/internal/esgrpc"
+	"esgrid/internal/flight"
 	"esgrid/internal/gridftp"
 	"esgrid/internal/hrm"
 	"esgrid/internal/ldapd"
@@ -131,6 +132,8 @@ type MonitorRun struct {
 	Alerts     []monitor.Alert
 	Statuses   []rm.FileStatus
 	Healths    []mds.HostHealth
+	// Flight is the run's always-on flight recorder (see ChaosRun.Flight).
+	Flight *flight.Recorder
 }
 
 // RunMonitorCase executes one labeled scenario. withMonitor=false runs
@@ -142,6 +145,11 @@ func RunMonitorCase(c MonitorCase, seed int64, grace time.Duration, withMonitor 
 	}
 	clk := vtime.NewSim(seed)
 	n := simnet.New(clk)
+	rec := flight.New(0, 0)
+	if !flightDisabled {
+		rec.AttachCore(clk)
+		n.AttachFlight(rec)
+	}
 	log := netlogger.NewLog(clk)
 	tracer := netlogger.NewTracer(clk, log)
 	metrics := netlogger.NewRegistry(clk)
@@ -212,7 +220,7 @@ func RunMonitorCase(c MonitorCase, seed int64, grace time.Duration, withMonitor 
 	}
 
 	dest := gridftp.NewMemStore()
-	run := MonitorRun{}
+	run := MonitorRun{Flight: rec}
 	var mon *monitor.Monitor
 	var rerr error
 	clk.Run(func() {

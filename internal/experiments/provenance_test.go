@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"esgrid/internal/flight"
+	"esgrid/internal/vtime"
+)
+
+// TestProvenanceChain is the S15 acceptance check: a chaos-forced RM
+// retry must be explained end to end — the chain walks from the
+// retry-backoff fire back through the retained core window to an
+// upstream network/protocol event, without leaving the experiments
+// layer to do it.
+func TestProvenanceChain(t *testing.T) {
+	res, err := RunProvenance(DefaultProvenanceConfig(), 8)
+	if err != nil {
+		t.Fatalf("RunProvenance: %v", err)
+	}
+	if res.Run.Attempts <= res.Config.Files {
+		t.Errorf("diagnosed run had no retries: attempts %d for %d files",
+			res.Run.Attempts, res.Config.Files)
+	}
+	if vtime.SiteName(res.Retry.Site) != "rm.retry-backoff" {
+		t.Fatalf("retry record at wrong site %q", vtime.SiteName(res.Retry.Site))
+	}
+	if len(res.Chain) < 2 {
+		t.Fatalf("chain too shallow to explain anything: %d hops\n%s", len(res.Chain), res.Chart)
+	}
+	// The last hop is the retry itself; everything before it is cause.
+	last := res.Chain[len(res.Chain)-1]
+	if last.Seq != res.Retry.Seq {
+		t.Errorf("chain does not end at the retry: seq %d vs %d", last.Seq, res.Retry.Seq)
+	}
+	sites := res.ChainSites()
+	upstream := false
+	for _, s := range sites {
+		if s != "rm.retry-backoff" {
+			upstream = true
+		}
+	}
+	if !upstream {
+		t.Errorf("chain never leaves the retry site: %v\n%s", sites, res.Chart)
+	}
+	for _, want := range []string{"rm.retry-backoff", "seq="} {
+		if !strings.Contains(res.Chart, want) {
+			t.Errorf("rendered chain missing %q:\n%s", want, res.Chart)
+		}
+	}
+	rows := res.Rows()
+	if len(rows) < 5 {
+		t.Errorf("summary rows = %d, want >= 5", len(rows))
+	}
+}
+
+// TestProvenanceDeterminism: equal configs reproduce the identical
+// chain — the property that makes a printed chain a replayable bug
+// report rather than a one-off observation.
+func TestProvenanceDeterminism(t *testing.T) {
+	a, err := RunProvenance(DefaultProvenanceConfig(), 8)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := RunProvenance(DefaultProvenanceConfig(), 8)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	if a.Chart != b.Chart {
+		t.Fatalf("equal-config chains diverge:\nA:\n%s\nB:\n%s", a.Chart, b.Chart)
+	}
+	if a.Retry.Seq != b.Retry.Seq || a.Records != b.Records {
+		t.Fatalf("equal-config provenance diverges: seq %d/%d records %d/%d",
+			a.Retry.Seq, b.Retry.Seq, a.Records, b.Records)
+	}
+}
+
+// TestChaosFlightDumpDeterministic extends the equal-seed guarantee to
+// the flight recorder itself: two runs of the same schedule must dump
+// byte-identical JSONL (virtual timestamps only — wall time never
+// enters a record).
+func TestChaosFlightDumpDeterministic(t *testing.T) {
+	cfg := soakConfig(91)
+	sched := ChaosScheduleFor(cfg, 91, 6)
+	a, err := RunChaosSchedule(cfg, sched)
+	if err != nil {
+		t.Fatalf("run A: %v", err)
+	}
+	b, err := RunChaosSchedule(cfg, sched)
+	if err != nil {
+		t.Fatalf("run B: %v", err)
+	}
+	da, db := a.Flight.Dump(), b.Flight.Dump()
+	if len(da) == 0 {
+		t.Fatal("flight dump empty — recorder not attached?")
+	}
+	if !bytes.Equal(da, db) {
+		la, lb := splitLines(string(da)), splitLines(string(db))
+		n := len(la)
+		if len(lb) < n {
+			n = len(lb)
+		}
+		for i := 0; i < n; i++ {
+			if la[i] != lb[i] {
+				t.Fatalf("equal-seed flight dumps diverge at line %d:\n  A: %s\n  B: %s", i, la[i], lb[i])
+			}
+		}
+		t.Fatalf("equal-seed flight dump lengths differ: %d vs %d lines", len(la), len(lb))
+	}
+	// The dump round-trips through the parser into the same records.
+	recs, err := flight.ParseDump(bytes.NewReader(da))
+	if err != nil {
+		t.Fatalf("ParseDump: %v", err)
+	}
+	if len(recs) != len(a.Flight.Records()) {
+		t.Fatalf("round-trip lost records: %d vs %d", len(recs), len(a.Flight.Records()))
+	}
+}
+
+// TestChaosFlightPureObserver proves the recorder cannot perturb the
+// simulation: the same seed and schedule run bare (no tap, no simnet
+// hook) and instrumented must produce byte-identical NetLogger streams
+// and identical timing.
+func TestChaosFlightPureObserver(t *testing.T) {
+	cfg := soakConfig(92)
+	sched := ChaosScheduleFor(cfg, 92, 6)
+	inst, err := RunChaosSchedule(cfg, sched)
+	if err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	flightDisabled = true
+	defer func() { flightDisabled = false }()
+	bare, err := RunChaosSchedule(cfg, sched)
+	if err != nil {
+		t.Fatalf("bare run: %v", err)
+	}
+	if inst.JSONL != bare.JSONL {
+		t.Fatal("flight recorder perturbed the event stream: instrumented and bare JSONL differ")
+	}
+	if inst.Elapsed != bare.Elapsed || inst.Activations != bare.Activations {
+		t.Fatalf("flight recorder perturbed timing: elapsed %v/%v activations %d/%d",
+			inst.Elapsed, bare.Elapsed, inst.Activations, bare.Activations)
+	}
+	if inst.Flight.Stats().CoreWritten == 0 {
+		t.Error("instrumented run recorded no core events")
+	}
+	if bare.Flight.Stats().CoreWritten != 0 {
+		t.Error("bare run recorded core events despite detached tap")
+	}
+}
+
+// TestFlightDumpOnFailure exercises the CI failure path end to end:
+// dumpFlightOnFailure must land a parseable dump in $ESG_FLIGHT_DIR.
+func TestFlightDumpOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("ESG_FLIGHT_DIR", dir)
+	cfg := soakConfig(93)
+	run, err := RunChaosSchedule(cfg, ChaosScheduleFor(cfg, 93, 4))
+	if err != nil {
+		t.Fatalf("RunChaosSchedule: %v", err)
+	}
+	dumpFlightOnFailure(t, run, "exercise-seed93")
+	path := filepath.Join(dir, "exercise-seed93.flight.jsonl")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("dump not written: %v", err)
+	}
+	defer f.Close()
+	recs, err := flight.ParseDump(f)
+	if err != nil {
+		t.Fatalf("dump unparseable: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("dump carried no records")
+	}
+}

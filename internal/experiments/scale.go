@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"esgrid/internal/gridftp"
+	"esgrid/internal/netlogger"
 	"esgrid/internal/simnet"
 	"esgrid/internal/vtime"
 )
@@ -20,7 +21,10 @@ import (
 // downloading concurrently, reporting simulated seconds per wall-clock
 // second at each population.
 
-// ScaleResult records one client-count sweep.
+// ScaleResult records one client-count sweep. Lat holds the per-client
+// download-latency tail (p50/p99/p999/max) at each population — the
+// distribution a mean would flatten: under fair sharing the last
+// arrivals at a saturated site see multiples of the median.
 type ScaleResult struct {
 	Clients     []int
 	SimElapsed  []time.Duration
@@ -28,6 +32,7 @@ type ScaleResult struct {
 	Bytes       []int64
 	AllocPasses []uint64
 	AllocFlows  []uint64
+	Lat         []netlogger.Tail
 	FileBytes   int64
 }
 
@@ -48,7 +53,7 @@ func RunScale(seed int64, clients []int, fileMB int64) (ScaleResult, error) {
 	}
 	res := ScaleResult{Clients: clients, FileBytes: fileMB << 20}
 	for _, nClients := range clients {
-		sim, wall, bytes, passes, visited, err := runScaleOnce(seed, nClients, res.FileBytes)
+		sim, wall, bytes, passes, visited, tail, err := runScaleOnce(seed, nClients, res.FileBytes)
 		if err != nil {
 			return res, err
 		}
@@ -57,11 +62,12 @@ func RunScale(seed int64, clients []int, fileMB int64) (ScaleResult, error) {
 		res.Bytes = append(res.Bytes, bytes)
 		res.AllocPasses = append(res.AllocPasses, passes)
 		res.AllocFlows = append(res.AllocFlows, visited)
+		res.Lat = append(res.Lat, tail)
 	}
 	return res, nil
 }
 
-func runScaleOnce(seed int64, nClients int, fileBytes int64) (sim, wall time.Duration, bytes int64, passes, visited uint64, err error) {
+func runScaleOnce(seed int64, nClients int, fileBytes int64) (sim, wall time.Duration, bytes int64, passes, visited uint64, tail netlogger.Tail, err error) {
 	clk := vtime.NewSim(seed)
 	n := simnet.New(clk)
 	nSites := (nClients + scaleSiteClients - 1) / scaleSiteClients
@@ -80,6 +86,7 @@ func runScaleOnce(seed int64, nClients int, fileBytes int64) (sim, wall time.Dur
 	}
 	store := gridftp.NewVirtualStore()
 	store.Put("f", fileBytes)
+	lat := netlogger.NewLogHistogram()
 
 	var mu sync.Mutex
 	var rerr error
@@ -115,6 +122,7 @@ func runScaleOnce(seed int64, nClients int, fileBytes int64) (sim, wall time.Dur
 				// Unique per-client stagger keeps arrivals ordered and the
 				// trace deterministic without serializing the downloads.
 				clk.Sleep(time.Duration(c) * 500 * time.Microsecond)
+				t0 := clk.Now()
 				addr := fmt.Sprintf("srv%04d:2811", c/scaleSiteClients)
 				cli, err := gridftp.Dial(gridftp.ClientConfig{
 					Clock: clk, Net: n.Host(fmt.Sprintf("cli%04d", c)),
@@ -131,6 +139,9 @@ func runScaleOnce(seed int64, nClients int, fileBytes int64) (sim, wall time.Dur
 					fail(err)
 					return
 				}
+				// Dial-to-last-byte latency for this client, in virtual
+				// time: the per-client experience the tail row reports.
+				lat.ObserveDuration(clk.Now().Sub(t0))
 				mu.Lock()
 				bytes += st.Bytes
 				mu.Unlock()
@@ -141,7 +152,7 @@ func runScaleOnce(seed int64, nClients int, fileBytes int64) (sim, wall time.Dur
 	})
 	wall = time.Since(wallStart) //esglint:wallclock S11 reports the real wall cost of simulating the scaled run
 	passes, visited = n.AllocStats()
-	return sim, wall, bytes, passes, visited, rerr
+	return sim, wall, bytes, passes, visited, lat.Tail(), rerr
 }
 
 // Rows formats the sweep.
@@ -158,12 +169,19 @@ func (r ScaleResult) Rows() []Row {
 		if r.AllocPasses[i] > 0 {
 			flowsPerPass = float64(r.AllocFlows[i]) / float64(r.AllocPasses[i])
 		}
+		// Per-client latency as a tail, not a mean: at a saturated site
+		// the p999 client's wait is what an operator would be paged for.
+		t := r.Lat[i]
 		rows = append(rows, Row{
 			Label: fmt.Sprintf("%4d clients", c),
-			Value: fmt.Sprintf("sim %-8s wall %-10s %8.0f sim-s/wall-s  agg %-12s %.1f flows/pass",
+			Value: fmt.Sprintf("sim %-8s wall %-10s %8.0f sim-s/wall-s  lat p50 %-7s p99 %-7s p999 %-7s %.1f flows/pass",
 				fmt.Sprintf("%.1fs", simS), r.WallElapsed[i].Round(time.Millisecond),
-				ratio, mbps(float64(r.Bytes[i])*8/simS), flowsPerPass),
+				ratio, fmtSeconds(t.P50), fmtSeconds(t.P99), fmtSeconds(t.P999), flowsPerPass),
 		})
 	}
 	return rows
 }
+
+// fmtSeconds renders a latency in seconds with enough precision for
+// sub-second tails.
+func fmtSeconds(s float64) string { return fmt.Sprintf("%.2fs", s) }

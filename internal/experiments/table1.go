@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"esgrid/internal/flight"
 	"esgrid/internal/gridftp"
 	"esgrid/internal/gsi"
 	"esgrid/internal/netlogger"
@@ -125,6 +126,9 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 	}
 	clk := vtime.NewSim(cfg.Seed)
 	n := simnet.New(clk)
+	rec := flight.New(0, 0)
+	rec.AttachCore(clk)
+	n.AttachFlight(rec)
 
 	// Topology per §7 and Figure 7: cluster switches dual-bonded to exit
 	// routers, OC-48 across HSCC/NTON, a policy cap at the SCinet

@@ -7,6 +7,10 @@ import (
 	"esgrid/internal/vtime"
 )
 
+// Provenance site tag(s) for the delays this package schedules on
+// the virtual clock (flight-recorder attribution).
+var siteRetryBackoff = vtime.RegisterSite("gridftp.retry-backoff")
+
 // ThirdParty performs a client-mediated server-to-server transfer (§6.1:
 // "third-party control of data transfer that allows a user or application
 // at one site to initiate, monitor and control a data transfer operation
@@ -90,7 +94,7 @@ func GetWithRetry(clk vtime.Clock, mk func() (*Client, error), path string, sink
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if attempt > 1 && backoff > 0 {
-			clk.Sleep(backoff)
+			vtime.SleepTagged(clk, siteRetryBackoff, backoff)
 		}
 		if cli == nil {
 			c, err := mk()

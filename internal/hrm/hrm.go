@@ -21,6 +21,10 @@ import (
 	"esgrid/internal/vtime"
 )
 
+// Provenance site tag(s) for the delays this package schedules on
+// the virtual clock (flight-recorder attribution).
+var siteStageWait = vtime.RegisterSite("hrm.stage-wait")
+
 // stageWaitBuckets are the histogram bounds (seconds) for hrm.stage.wait:
 // cache hits are ~0; misses cost seek + stream and possibly a mount.
 var stageWaitBuckets = []float64{0.5, 1, 2, 5, 10, 20, 30, 60, 120, 300, 600}
@@ -241,7 +245,7 @@ func (h *HRM) stage(name string) (time.Duration, error) {
 	if needMount {
 		d += h.cfg.MountTime
 	}
-	h.clk.Sleep(d)
+	vtime.SleepTagged(h.clk, siteStageWait, d)
 
 	h.mu.Lock()
 	if needMount {

@@ -31,6 +31,12 @@ func TestMapRangeIgnoresUnorderedPackages(t *testing.T) {
 	RunAnalyzer(t, "testdata", "plainpkg", MapRange)
 }
 
+func TestMapRangeFlight(t *testing.T) {
+	// internal/flight joined the ordered-output packages with the flight
+	// recorder: its dumps and site tables are equal-seed byte-identical.
+	RunAnalyzer(t, "testdata", "esgrid/internal/flight", MapRange)
+}
+
 func TestMutexCopy(t *testing.T) {
 	RunAnalyzer(t, "testdata", "mutexcopy", MutexCopy)
 }

@@ -36,6 +36,7 @@ var orderedPathSuffixes = []string{
 	"internal/netlogger",
 	"internal/monitor",
 	"internal/mds",
+	"internal/flight",
 }
 
 func runMapRange(pass *Pass) error {

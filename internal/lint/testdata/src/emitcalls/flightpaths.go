@@ -1,0 +1,13 @@
+// Flight-recorder emission sites: the profiler publishes dump and
+// chain events through the same kv discipline as every other
+// instrument.
+package emitcalls
+
+import "esgrid/internal/netlogger"
+
+func flightCalls(l *netlogger.Log, site string) {
+	l.Emit("prof", "flight.dump", "records", "1024")
+	l.Emit("prof", "flight.dump", "records")                  // want `odd number of kv arguments \(1\)`
+	l.Emit("prof", "flight.chain", site, "dep")               // want `kv key in position 0 .* is not a constant string`
+	l.Emit("prof", "flight.chain", "seq", "205", "seq", "11") // want `duplicate kv key "seq"`
+}

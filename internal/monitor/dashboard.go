@@ -44,10 +44,10 @@ func RenderDashboard(s Snapshot, width int) string {
 
 	if len(s.Stages) > 0 {
 		b.WriteString("\nSTAGE LATENCIES\n")
-		fmt.Fprintf(&b, "  %-16s %6s %10s %10s %10s\n", "stage", "n", "p50", "p95", "max")
+		fmt.Fprintf(&b, "  %-16s %6s %10s %10s %10s %10s\n", "stage", "n", "p50", "p99", "p999", "max")
 		for _, st := range s.Stages {
-			fmt.Fprintf(&b, "  %-16s %6d %9.3fs %9.3fs %9.3fs\n",
-				st.Stage, st.N, st.P50, st.P95, st.Max)
+			fmt.Fprintf(&b, "  %-16s %6d %9.3fs %9.3fs %9.3fs %9.3fs\n",
+				st.Stage, st.N, st.P50, st.P99, st.P999, st.Max)
 		}
 	}
 

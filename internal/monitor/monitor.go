@@ -194,7 +194,7 @@ type Monitor struct {
 	hOrder    []string
 	pairs     map[pairKey]*pairState
 	pOrder    []pairKey
-	stages    map[string]*Digest
+	stages    map[string]*netlogger.LogHistogram
 	flows     *Ring
 	starts    map[string]spanStart // trid → open staged span
 	alerts    []Alert
@@ -212,7 +212,7 @@ func New(cfg Config) *Monitor {
 		transfers: map[string]*Transfer{},
 		hosts:     map[string]*hostState{},
 		pairs:     map[pairKey]*pairState{},
-		stages:    map[string]*Digest{},
+		stages:    map[string]*netlogger.LogHistogram{},
 		flows:     NewRing(cfg.RingLen),
 		starts:    map[string]spanStart{},
 	}
@@ -506,7 +506,7 @@ func (m *Monitor) handleLocked(ev netlogger.Event) {
 				delete(m.starts, trid)
 				d := m.stages[s.stage]
 				if d == nil {
-					d = &Digest{}
+					d = netlogger.NewLogHistogram()
 					m.stages[s.stage] = d
 				}
 				d.ObserveDuration(ev.Time.Sub(s.at))
@@ -645,7 +645,8 @@ type StageStat struct {
 	Stage string  `json:"stage"`
 	N     int64   `json:"n"`
 	P50   float64 `json:"p50_s"`
-	P95   float64 `json:"p95_s"`
+	P99   float64 `json:"p99_s"`
+	P999  float64 `json:"p999_s"`
 	Max   float64 `json:"max_s"`
 }
 
@@ -688,10 +689,10 @@ func (m *Monitor) Snapshot(now time.Time) Snapshot {
 	}
 	sort.Strings(stages)
 	for _, st := range stages {
-		d := m.stages[st]
+		tail := m.stages[st].Tail()
 		s.Stages = append(s.Stages, StageStat{
-			Stage: st, N: d.Count(),
-			P50: d.Quantile(0.50), P95: d.Quantile(0.95), Max: d.Max(),
+			Stage: st, N: tail.N,
+			P50: tail.P50, P99: tail.P99, P999: tail.P999, Max: tail.Max,
 		})
 	}
 	s.Alerts = append(s.Alerts, m.alerts...)

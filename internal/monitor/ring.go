@@ -1,10 +1,5 @@
 package monitor
 
-import (
-	"math"
-	"time"
-)
-
 // Ring is a fixed-capacity time series: pushes overwrite the oldest
 // sample once the buffer is full. The monitor keeps one per tracked
 // host (goodput) plus one for the global active-flow gauge, bounding
@@ -82,101 +77,4 @@ func (r *Ring) Max() float64 {
 		}
 	}
 	return mx
-}
-
-// Digest is a streaming percentile sketch for stage latencies:
-// observations land in geometrically growing buckets (×digestGrowth
-// from digestBase), so quantile queries cost O(buckets), memory is
-// constant, and — unlike a sampling sketch — results are deterministic,
-// which the equal-seed replay tests require.
-const (
-	digestBase    = 1e-6 // 1 µs, in seconds
-	digestGrowth  = 1.25
-	digestBuckets = 128 // covers up to ~2.6e6 s
-)
-
-type Digest struct {
-	counts [digestBuckets]int64
-	n      int64
-	sum    float64
-	min    float64
-	max    float64
-}
-
-func digestBucket(v float64) int {
-	if v <= digestBase {
-		return 0
-	}
-	i := int(math.Log(v/digestBase)/math.Log(digestGrowth)) + 1
-	if i >= digestBuckets {
-		i = digestBuckets - 1
-	}
-	return i
-}
-
-// Observe records one latency (seconds; negatives clamp to 0).
-func (d *Digest) Observe(v float64) {
-	if v < 0 {
-		v = 0
-	}
-	d.counts[digestBucket(v)]++
-	if d.n == 0 || v < d.min {
-		d.min = v
-	}
-	if d.n == 0 || v > d.max {
-		d.max = v
-	}
-	d.n++
-	d.sum += v
-}
-
-// ObserveDuration records one latency.
-func (d *Digest) ObserveDuration(dur time.Duration) { d.Observe(dur.Seconds()) }
-
-// Count returns the number of observations.
-func (d *Digest) Count() int64 { return d.n }
-
-// Mean returns the mean observation (0 when empty).
-func (d *Digest) Mean() float64 {
-	if d.n == 0 {
-		return 0
-	}
-	return d.sum / float64(d.n)
-}
-
-// Min and Max return the observed extremes.
-func (d *Digest) Min() float64 { return d.min }
-func (d *Digest) Max() float64 { return d.max }
-
-// Quantile returns an upper bound on the q-th quantile (q in [0,1]):
-// the upper edge of the bucket holding that rank, clamped to the
-// observed max.
-func (d *Digest) Quantile(q float64) float64 {
-	if d.n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(q * float64(d.n-1))
-	var seen int64
-	for i, c := range d.counts {
-		seen += c
-		if seen > rank {
-			var hi float64
-			if i == 0 {
-				hi = digestBase
-			} else {
-				hi = digestBase * math.Pow(digestGrowth, float64(i))
-			}
-			if hi > d.max {
-				hi = d.max
-			}
-			return hi
-		}
-	}
-	return d.max
 }

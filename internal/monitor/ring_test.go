@@ -43,66 +43,6 @@ func TestRingMinCapacity(t *testing.T) {
 	}
 }
 
-func TestDigestQuantiles(t *testing.T) {
-	var d Digest
-	if d.Quantile(0.5) != 0 || d.Mean() != 0 {
-		t.Fatal("empty digest not zero")
-	}
-	// 100 observations: 90 fast (10ms), 10 slow (2s).
-	for i := 0; i < 90; i++ {
-		d.Observe(0.010)
-	}
-	for i := 0; i < 10; i++ {
-		d.ObserveDuration(2 * time.Second)
-	}
-	if d.Count() != 100 {
-		t.Fatalf("Count = %d", d.Count())
-	}
-	if d.Min() != 0.010 || d.Max() != 2.0 {
-		t.Fatalf("min=%v max=%v", d.Min(), d.Max())
-	}
-	p50 := d.Quantile(0.50)
-	if p50 < 0.010 || p50 > 0.015 {
-		t.Fatalf("p50 = %v, want ≈10ms bucket bound", p50)
-	}
-	p99 := d.Quantile(0.99)
-	if p99 < 1.5 || p99 > 2.0 {
-		t.Fatalf("p99 = %v, want ≈2s", p99)
-	}
-	if got := d.Quantile(1); got != 2.0 {
-		t.Fatalf("Quantile(1) = %v, want max", got)
-	}
-	mean := d.Mean()
-	if mean < 0.2 || mean > 0.21 {
-		t.Fatalf("mean = %v, want ≈0.209", mean)
-	}
-	// Out-of-range inputs clamp rather than panic.
-	d.Observe(-5)
-	if d.Min() != 0 {
-		t.Fatalf("negative observation: min = %v", d.Min())
-	}
-	d.Observe(1e12)
-	if got, q0 := d.Quantile(-1), d.Quantile(0); got != q0 {
-		t.Fatalf("Quantile(-1) = %v, want clamp to Quantile(0) = %v", got, q0)
-	}
-}
-
-func TestDigestDeterminism(t *testing.T) {
-	mk := func() *Digest {
-		var d Digest
-		for i := 0; i < 1000; i++ {
-			d.Observe(float64(i%37) * 0.013)
-		}
-		return &d
-	}
-	a, b := mk(), mk()
-	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
-		if a.Quantile(q) != b.Quantile(q) {
-			t.Fatalf("quantile %v differs between identical digests", q)
-		}
-	}
-}
-
 func TestNextBoundaryEpochAligned(t *testing.T) {
 	epoch := time.Date(2000, time.November, 6, 8, 0, 0, 0, time.UTC)
 	tick := time.Second

@@ -26,6 +26,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	hlogs    map[string]*LogHistogram
 }
 
 // NewRegistry returns an empty registry on clk.
@@ -35,6 +36,7 @@ func NewRegistry(clk vtime.Clock) *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		hlogs:    map[string]*LogHistogram{},
 	}
 }
 
@@ -285,6 +287,10 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 					defer h.mu.Unlock()
 					return h.max
 				}())})
+	}
+	//esglint:unordered rows are sorted by name below before return
+	for name, h := range r.hlogs {
+		rows = append(rows, MetricSnapshot{name, "loghist", h.Tail().String()})
 	}
 	r.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })

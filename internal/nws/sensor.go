@@ -11,6 +11,10 @@ import (
 	"esgrid/internal/vtime"
 )
 
+// Provenance site tag(s) for the delays this package schedules on
+// the virtual clock (flight-recorder attribution).
+var siteProbePeriod = vtime.RegisterSite("nws.probe-period")
+
 // Prober takes one bandwidth/latency measurement for a directed host
 // pair. The simulator-backed prober estimates the rate a new flow would
 // get (plus measurement noise); a real-network prober would run a short
@@ -119,7 +123,7 @@ func (s *Sensor) Stop() {
 
 func (s *Sensor) loop() {
 	for {
-		s.clk.Sleep(s.period)
+		vtime.SleepTagged(s.clk, siteProbePeriod, s.period)
 		s.mu.Lock()
 		if s.stopped {
 			s.mu.Unlock()

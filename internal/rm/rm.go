@@ -26,6 +26,13 @@ import (
 	"esgrid/internal/vtime"
 )
 
+// Provenance site tag(s) for the delays this package schedules on
+// the virtual clock (flight-recorder attribution).
+var (
+	siteRetryBackoff = vtime.RegisterSite("rm.retry-backoff")
+	siteMonitorTick  = vtime.RegisterSite("rm.monitor-tick")
+)
+
 // Policy selects among candidate replicas.
 type Policy int
 
@@ -516,7 +523,7 @@ func (m *Manager) transferFile(req *Request, fs *fileState) error {
 		cand := cands[ci]
 		if attempt > 0 && m.cfg.RetryBackoff > 0 {
 			rs := fs.span.Child(netlogger.StageRetry, "rm.backoff", "file", fs.Name)
-			m.cfg.Clock.Sleep(m.cfg.RetryBackoff)
+			vtime.SleepTagged(m.cfg.Clock, siteRetryBackoff, m.cfg.RetryBackoff)
 			rs.Finish()
 		}
 		err := m.tryReplica(req, fs, cand, &attempt)
@@ -675,7 +682,7 @@ func (m *Manager) monitor(req *Request, fs *fileState, sink gridftp.Sink, stop <
 	const graceIntervals = 1
 	const violationsToAbort = 3
 	for {
-		m.cfg.Clock.Sleep(m.cfg.MonitorInterval)
+		vtime.SleepTagged(m.cfg.Clock, siteMonitorTick, m.cfg.MonitorInterval)
 		select {
 		case <-stop:
 			return

@@ -197,6 +197,9 @@ func (n *Net) reallocComponentLocked(seed *flow, now time.Duration) {
 	n.scrComp = comp
 	n.allocPasses++
 	n.allocFlows += uint64(len(comp))
+	if n.rec != nil {
+		n.rec.AllocPass(int64(now), int64(len(comp)), int64(n.allocPasses))
+	}
 	if len(comp) == 1 {
 		// A flow alone on all its resources (the BFS found no neighbour)
 		// has the closed-form rate min(windowCap, capacity/weight) — no

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"esgrid/internal/flight"
 	"esgrid/internal/transport"
 	"esgrid/internal/vtime"
 )
@@ -70,6 +71,7 @@ type Conn struct {
 	flows     [2]*flow // flows[i] carries eps[i] -> eps[1-i]
 	writeCond [2]vtime.Cond
 	removed   bool
+	wasReset  bool   // torn down by reset/fault, not orderly close
 	label     string // life-line context set via Endpoint.SetLabel
 }
 
@@ -218,6 +220,9 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 
 	c := &Conn{net: n, seq: n.nextConnSeq}
 	n.nextConnSeq++
+	if n.rec != nil {
+		n.rec.Conn(flight.KConnOpen, int64(n.nowOff()), c.seq)
+	}
 	cli := &Endpoint{
 		conn: c, idx: 0, host: h,
 		addr: transport.Addr{Net: "sim", Text: hostPort(h.name, cliPort)},
@@ -255,7 +260,7 @@ func (h *Host) Dial(addr string) (transport.Conn, error) {
 	n.mu.Unlock()
 
 	// TCP three-way handshake: the connection is usable one RTT after SYN.
-	n.clk.Sleep(rtt)
+	n.clk.SleepSite(siteHandshake, rtt)
 
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -300,6 +305,13 @@ func (c *Conn) removeLocked() {
 	c.flows[1].remove(now)
 	delete(c.eps[0].host.conns, c)
 	delete(c.eps[1].host.conns, c)
+	if c.net.rec != nil {
+		kind := flight.KConnRetired
+		if c.wasReset {
+			kind = flight.KConnReset
+		}
+		c.net.rec.Conn(kind, int64(now), c.seq)
+	}
 	if c.net.nlog != nil {
 		c.net.nlog.Emit(c.eps[0].host.name, "simnet.conn.retired",
 			"src", c.eps[0].addr.Text,
@@ -315,6 +327,7 @@ func (c *Conn) reset(err error) {
 	n := c.net
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	c.wasReset = true
 	for _, ep := range c.eps {
 		if ep.resetErr == nil {
 			ep.resetErr = err

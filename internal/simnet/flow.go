@@ -277,7 +277,7 @@ func (f *flow) scheduleGrowth() {
 		return
 	}
 	f.growing = true
-	f.growEv = f.net.clk.Schedule(f.rtt, f.growFn)
+	f.growEv = f.net.clk.ScheduleSite(siteGrowth, f.rtt, f.growFn)
 }
 
 func (f *flow) onGrow() {
@@ -335,7 +335,7 @@ func (f *flow) scheduleLoss() {
 	}
 	f.lossRate = f.rate
 	wait := f.net.clk.RandExp(1 / lambda)
-	f.lossEv = f.net.clk.Reschedule(f.lossEv, time.Duration(wait*float64(time.Second)), f.lossFn)
+	f.lossEv = f.net.clk.RescheduleSite(siteLoss, f.lossEv, time.Duration(wait*float64(time.Second)), f.lossFn)
 }
 
 func (f *flow) onLoss() {
@@ -402,7 +402,7 @@ func (f *flow) scheduleCompletion(now time.Duration) {
 	// Reschedule re-keys the pending event in place — on the per-RTT
 	// growth path this timer moves on every rate change, and a fused
 	// re-arm halves the heap traffic of a cancel-then-schedule pair.
-	f.doneEv = f.net.clk.Reschedule(f.doneEv, d, f.doneFn)
+	f.doneEv = f.net.clk.RescheduleSite(siteCompletion, f.doneEv, d, f.doneFn)
 }
 
 func (f *flow) onSegmentDone() {
@@ -429,7 +429,7 @@ func (f *flow) completeReady(now time.Duration) {
 	for f.queued() > 0 && f.headSeg().end <= done+1e-3 {
 		seg := f.popSegLocked()
 		f.inflight = append(f.inflight, seg)
-		f.net.clk.Schedule(f.owd, f.deliverFn)
+		f.net.clk.ScheduleSite(siteDeliver, f.owd, f.deliverFn)
 		retired = true
 	}
 	// Writers block only on transmission progress, so one broadcast per
@@ -443,7 +443,7 @@ func (f *flow) completeReady(now time.Duration) {
 		if linger <= 0 {
 			linger = time.Millisecond
 		}
-		f.lingerEv = f.net.clk.Schedule(linger, f.lingerFn)
+		f.lingerEv = f.net.clk.ScheduleSite(siteLinger, linger, f.lingerFn)
 	}
 }
 

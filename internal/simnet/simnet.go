@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"esgrid/internal/flight"
 	"esgrid/internal/netlogger"
 	"esgrid/internal/vtime"
 )
@@ -45,6 +46,18 @@ const (
 	DefaultMSS         = 1460      // standard Ethernet MSS
 	JumboMSS           = 8960      // jumbo frames (§7 discussion)
 	initialWindowMSS   = 4         // initial congestion window, in MSS
+)
+
+// Provenance sites for every event class the network schedules, so a
+// flight-recorder chain names the mechanism ("simnet.loss caused this
+// rm.retry-backoff") rather than an anonymous timer.
+var (
+	siteGrowth     = vtime.RegisterSite("simnet.growth")
+	siteLoss       = vtime.RegisterSite("simnet.loss")
+	siteCompletion = vtime.RegisterSite("simnet.completion")
+	siteDeliver    = vtime.RegisterSite("simnet.deliver")
+	siteLinger     = vtime.RegisterSite("simnet.linger")
+	siteHandshake  = vtime.RegisterSite("simnet.handshake")
 )
 
 // LinkConfig describes one full-duplex link.
@@ -112,10 +125,13 @@ type Net struct {
 
 	// Observability (Instrument): life-line events for retired
 	// connections and the simnet.flows.active gauge. Set before traffic
-	// starts; nil means uninstrumented.
+	// starts; nil means uninstrumented. rec, when set (AttachFlight),
+	// receives packed conn-transition and allocator-pass records on the
+	// flight recorder's data ring — written under mu, zero-alloc.
 	nlog        *netlogger.Log
 	metrics     *netlogger.Registry
 	flowsActive *netlogger.Gauge
+	rec         *flight.Recorder
 
 	mu        sync.Mutex
 	nodes     map[string]*node
@@ -179,6 +195,8 @@ type Net struct {
 	csrGen        uint64
 	csrGenAt      uint64
 	csrValid      bool
+	csrHits       uint64 // multi-flow passes served from the CSR cache
+	csrLookups    uint64 // multi-flow passes that consulted the cache
 
 	// flushFn is the cached zero-delay flush callback, so arming a flush
 	// does not allocate a closure per event burst.
@@ -304,6 +322,25 @@ func (n *Net) Instrument(log *netlogger.Log, metrics *netlogger.Registry) {
 	n.nlog = log
 	n.metrics = metrics
 	n.flowsActive = metrics.Gauge("simnet.flows.active")
+}
+
+// AttachFlight hands the network a flight recorder: connection state
+// transitions and allocator passes are appended to its data ring, under
+// the network's own lock, with no allocation — cheap enough to leave on
+// for every run. Call before traffic starts.
+func (n *Net) AttachFlight(rec *flight.Recorder) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rec = rec
+}
+
+// CSRStats reports how often the allocator's CSR flatten cache served a
+// multi-flow pass: hits out of lookups (single-flow closed-form passes
+// bypass the cache entirely).
+func (n *Net) CSRStats() (hits, lookups uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.csrHits, n.csrLookups
 }
 
 // AddNode registers a router/switch node with the given name.
@@ -677,6 +714,10 @@ func (n *Net) allocate(fs []*flow) []float64 {
 				break
 			}
 		}
+	}
+	n.csrLookups++
+	if hit {
+		n.csrHits++
 	}
 	refStart := n.scrRefStart
 	refID := n.scrRefID

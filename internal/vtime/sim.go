@@ -72,6 +72,24 @@ type Sim struct {
 	stopped    bool
 	rng        *rand.Rand
 	rngMu      sync.Mutex
+
+	// Observability (always on; see site.go and internal/flight).
+	// lastFired is the seq of the event most recently delivered at the
+	// current instant: the causal parent stamped onto events scheduled
+	// while it (or the goroutines it woke) run. ring, when set, records
+	// every schedule/fire/cancel/re-arm under mu (see corering.go). The
+	// remaining fields are the core profiler's counters and high-water
+	// marks, plus the sampled wall-time attribution arrays (nil when
+	// disabled).
+	lastFired  uint64
+	ring       *CoreRing
+	heapMax    int
+	immMax     int
+	nSched     uint64
+	nFired     uint64
+	nCancelled uint64
+	nRearmed   uint64
+	wallNs     []int64 // per-site sampled wall ns; nil = profiling off
 }
 
 // eventSlot is one pending (or recycled) event. A slot is live while it
@@ -81,9 +99,11 @@ type Sim struct {
 type eventSlot struct {
 	at      time.Duration
 	seq     uint64
+	parent  uint64 // seq of the event firing when this one was scheduled
 	gen     uint32
 	heapIdx int32 // position in heap, or -1
 	state   int32
+	site    Site // scheduling call site (provenance label)
 	fn      func()
 	wake    chan struct{} // parker channel to signal; nil for fn events
 }
@@ -264,6 +284,9 @@ func (s *Sim) pushEventLocked(i int32) {
 	sl.state = inHeap
 	sl.heapIdx = int32(len(s.heap))
 	s.heap = append(s.heap, heapEnt{at: sl.at, seq: sl.seq, slot: i})
+	if len(s.heap) > s.heapMax {
+		s.heapMax = len(s.heap)
+	}
 	s.siftUpLocked(len(s.heap) - 1)
 }
 
@@ -300,22 +323,31 @@ func (s *Sim) popEventLocked() int32 {
 // constant stream on the allocator flush path — skip the heap entirely
 // and ride a FIFO: same (at, seq) firing order, O(1) instead of two
 // O(log n) sifts per event.
-func (s *Sim) scheduleLocked(d time.Duration, fn func(), wake chan struct{}) EventID {
+func (s *Sim) scheduleLocked(d time.Duration, fn func(), wake chan struct{}, site Site) EventID {
 	i := s.allocSlotLocked()
 	sl := &s.slots[i]
 	sl.seq = s.seq
+	sl.parent = s.lastFired
+	sl.site = site
 	sl.fn = fn
 	sl.wake = wake
 	s.seq++
+	s.nSched++
 	if d <= 0 {
 		sl.at = s.now
 		sl.state = immQueued
 		s.immQ = append(s.immQ, i)
 		s.immLive++
-		return makeEventID(i, sl.gen)
+		if s.immLive > s.immMax {
+			s.immMax = s.immLive
+		}
+	} else {
+		sl.at = s.now + d
+		s.pushEventLocked(i)
 	}
-	sl.at = s.now + d
-	s.pushEventLocked(i)
+	if r := s.ring; r != nil {
+		r.Put(CoreSchedule, int64(s.now), int64(sl.at), sl.seq, sl.parent, site)
+	}
 	return makeEventID(i, sl.gen)
 }
 
@@ -360,7 +392,16 @@ func (s *Sim) popNextLocked() int32 {
 func (s *Sim) Schedule(d time.Duration, fn func()) EventID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.scheduleLocked(d, fn, nil)
+	return s.scheduleLocked(d, fn, nil, 0)
+}
+
+// ScheduleSite is Schedule with a provenance site tag (see RegisterSite):
+// the event carries the tag through the flight recorder and profiler, so
+// a fired timer can be attributed to the subsystem that armed it.
+func (s *Sim) ScheduleSite(site Site, d time.Duration, fn func()) EventID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scheduleLocked(d, fn, nil, site)
 }
 
 // Reschedule moves a pending event to fire after d with callback fn and
@@ -370,6 +411,13 @@ func (s *Sim) Schedule(d time.Duration, fn func()) EventID {
 // instead of two lock cycles, a removal and a push. The re-keyed event
 // takes a fresh sequence number, exactly as a cancel-and-schedule would.
 func (s *Sim) Reschedule(id EventID, d time.Duration, fn func()) EventID {
+	return s.RescheduleSite(0, id, d, fn)
+}
+
+// RescheduleSite is Reschedule with a provenance site tag; a re-keyed
+// event takes the new tag and a fresh causal parent, exactly as a
+// cancel-and-ScheduleSite pair would.
+func (s *Sim) RescheduleSite(site Site, id EventID, d time.Duration, fn func()) EventID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id != 0 {
@@ -379,19 +427,25 @@ func (s *Sim) Reschedule(id EventID, d time.Duration, fn func()) EventID {
 			if sl.gen == gen && sl.state == inHeap && d > 0 {
 				sl.at = s.now + d
 				sl.seq = s.seq
+				sl.parent = s.lastFired
+				sl.site = site
 				s.seq++
+				s.nSched++
 				sl.fn = fn
 				pos := int(sl.heapIdx)
 				s.heap[pos].at = sl.at
 				s.heap[pos].seq = sl.seq
 				s.siftDownLocked(pos)
 				s.siftUpLocked(pos)
+				if r := s.ring; r != nil {
+					r.Put(CoreSchedule, int64(s.now), int64(sl.at), sl.seq, sl.parent, site)
+				}
 				return id
 			}
 		}
 		s.cancelLocked(id)
 	}
-	return s.scheduleLocked(d, fn, nil)
+	return s.scheduleLocked(d, fn, nil, site)
 }
 
 // RearmFiring re-arms the event whose callback is currently executing to
@@ -432,6 +486,10 @@ func (s *Sim) cancelLocked(id EventID) bool {
 	}
 	switch sl.state {
 	case inHeap:
+		if r := s.ring; r != nil {
+			r.Put(CoreCancel, int64(s.now), 0, sl.seq, sl.parent, sl.site)
+		}
+		s.nCancelled++
 		s.removeEventLocked(int(sl.heapIdx))
 		s.freeSlotLocked(slot)
 		return true
@@ -439,6 +497,10 @@ func (s *Sim) cancelLocked(id EventID) bool {
 		// Mid-FIFO removal would be O(n); mark the entry dead in place and
 		// let popNextLocked recycle the slot when its turn comes. Rare:
 		// zero-delay events nearly always fire.
+		if r := s.ring; r != nil {
+			r.Put(CoreCancel, int64(s.now), 0, sl.seq, sl.parent, sl.site)
+		}
+		s.nCancelled++
 		sl.state = immCancelled
 		sl.fn = nil
 		sl.wake = nil
@@ -460,7 +522,7 @@ func (s *Sim) PendingEvents() int {
 // AfterFunc implements Clock.
 func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
 	s.mu.Lock()
-	id := s.scheduleLocked(d, fn, nil)
+	id := s.scheduleLocked(d, fn, nil, siteAfterFunc)
 	s.mu.Unlock()
 	return &simTimer{s: s, id: id}
 }
@@ -563,7 +625,12 @@ func (s *Sim) exit() {
 // Sleep implements Clock. The caller must be a managed goroutine. The
 // wakeup reuses a pooled parker and a wake-typed event slot, so a
 // steady-state Sleep performs no heap allocation.
-func (s *Sim) Sleep(d time.Duration) {
+func (s *Sim) Sleep(d time.Duration) { s.SleepSite(siteSleep, d) }
+
+// SleepSite is Sleep with a provenance site tag on the wakeup event, so
+// semantically distinct delays (retry backoff, staging wait, probe
+// period) stay distinguishable in flight dumps and profiles.
+func (s *Sim) SleepSite(site Site, d time.Duration) {
 	if d <= 0 {
 		return
 	}
@@ -579,7 +646,7 @@ func (s *Sim) Sleep(d time.Duration) {
 	} else {
 		p = &parker{ch: make(chan struct{}, 1)}
 	}
-	s.scheduleLocked(d, nil, p.ch)
+	s.scheduleLocked(d, nil, p.ch, site)
 	s.runnable--
 	s.parked++
 	s.maybeAdvanceLocked()
@@ -655,6 +722,11 @@ func (s *Sim) maybeAdvanceLocked() {
 			s.now = sl.at
 			s.nowAtomic.Store(int64(sl.at))
 		}
+		s.nFired++
+		s.lastFired = sl.seq
+		if r := s.ring; r != nil {
+			r.Put(CoreFire, int64(s.now), 0, sl.seq, sl.parent, sl.site)
+		}
 		if sl.wake != nil {
 			ch := sl.wake
 			s.freeSlotLocked(i)
@@ -665,19 +737,46 @@ func (s *Sim) maybeAdvanceLocked() {
 		// The slot stays reserved (not freed) while fn runs so RearmFiring
 		// can reclaim it; schedules made inside fn draw other slots.
 		fn := sl.fn
+		site := sl.site
+		firedSeq := sl.seq
 		s.firingID = makeEventID(i, sl.gen)
 		s.rearmDelay = -1
 		s.advancing = true
+		// Sampled wall attribution: time every WallSampleEvery-th callback
+		// and charge its site with the stride-scaled cost. Observational
+		// only — the reading never reaches the simulation or its dumps.
+		sample := s.wallNs != nil && s.nFired%WallSampleEvery == 0
 		s.mu.Unlock()
+		var t0 time.Time
+		if sample {
+			t0 = time.Now() //esglint:wallclock wall-time profiler sample, never fed back into the simulation
+		}
 		fn()
+		var dt int64
+		if sample {
+			dt = int64(time.Since(t0)) * WallSampleEvery //esglint:wallclock wall-time profiler sample, never fed back into the simulation
+		}
 		s.mu.Lock()
 		s.advancing = false
+		if sample && s.wallNs != nil {
+			j := int(site)
+			if j >= len(s.wallNs) {
+				j = len(s.wallNs) - 1 // site registered after EnableWallProfile
+			}
+			s.wallNs[j] += dt
+		}
 		if d := s.rearmDelay; d > 0 {
 			sl = &s.slots[i] // fn may have grown the arena
 			sl.at = s.now + d
 			sl.seq = s.seq
+			sl.parent = firedSeq // causal chain: each firing parents its re-arm
 			s.seq++
+			s.nSched++
+			s.nRearmed++
 			s.pushEventLocked(i)
+			if r := s.ring; r != nil {
+				r.Put(CoreRearm, int64(s.now), int64(sl.at), sl.seq, firedSeq, site)
+			}
 		} else {
 			s.freeSlotLocked(i)
 		}

@@ -127,7 +127,7 @@ func (c *chanCond) wait(d time.Duration) bool {
 	var t Timer
 	if d >= 0 {
 		if isSim {
-			id = sim.Schedule(d, w.timeoutFn)
+			id = sim.ScheduleSite(siteCondTimeout, d, w.timeoutFn)
 		} else {
 			t = c.clk.AfterFunc(d, func() { c.timeout(w) })
 		}
