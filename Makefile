@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke bench bench-json bench-diff cover fuzz-smoke check
+.PHONY: all build vet lint test race race-soak bench-smoke bench bench-json bench-diff cover fuzz-smoke check
 
 all: check
 
@@ -23,6 +23,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race soak for the parallel executor: all 25 seeded chaos schedules
+# with the worker fan engaged, under the race detector. `make race`
+# (part of check) already runs a bounded smoke slice of the same test;
+# this is the full pass for executor changes. Failing runs drop flight
+# dumps into $$ESG_FLIGHT_DIR next to their replay seeds.
+race-soak:
+	ESG_RACE_SOAK=full $(GO) test -race ./internal/experiments/ -run TestRaceSoak -count=1 -v
+
 # One iteration of the allocator microbenchmarks — proves the benchmark
 # harness itself still compiles and runs, without paying for full timing.
 bench-smoke:
@@ -32,7 +40,7 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchtime=1x ./...
 
-# Machine-readable benchmark snapshot (BENCH_PR7.json at the repo
+# Machine-readable benchmark snapshot (BENCH_PR8.json at the repo
 # root): name -> ns/op, allocs/op. CI archives it per run.
 bench-json:
 	./scripts/bench.sh
@@ -45,8 +53,8 @@ bench-json:
 #   BENCH_DIFF_NS_TOL=5 make bench-diff
 # on a quiet machine: the always-on flight recorder must stay within 5%
 # of the PR6 baseline on BenchmarkTable1/BenchmarkFigure8.
-BENCH_BASE ?= BENCH_PR6.json
-BENCH_NEW ?= BENCH_PR7.json
+BENCH_BASE ?= BENCH_PR7.json
+BENCH_NEW ?= BENCH_PR8.json
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASE) $(BENCH_NEW)
 

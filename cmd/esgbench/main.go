@@ -30,6 +30,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment to run (all, table1, figure8, chancache, parallel, buffers, stripes, replicasel, multisite, hrm, largefile, cpu, nws, subset, scale, lifeline, chaos, monitor, provenance, demo)")
 	full := flag.Bool("full", false, "paper-scale durations (1h Table 1, 14h Figure 8)")
 	seed := flag.Int64("seed", 2000, "simulation seed")
+	flag.IntVar(&workers, "workers", 0, "parallel component-executor lanes for table1/figure8/scale/chaos (0 or 1 = sequential; results are byte-identical at any width)")
 	flag.StringVar(&traceFile, "trace", "", "write the lifeline experiment's event stream to this file (.jsonl for JSONL, anything else for ULM)")
 	flag.StringVar(&alertsFile, "alerts", "", "write the monitor experiment's labeled alert stream to this JSONL file")
 	flag.Parse()
@@ -80,6 +81,10 @@ func main() {
 	}
 }
 
+// workers is the -workers flag: the deterministic parallel executor's
+// lane count, applied to the experiments whose configs accept it.
+var workers int
+
 func header(title, paper string) {
 	fmt.Println("================================================================")
 	fmt.Println(title)
@@ -92,6 +97,7 @@ func header(title, paper string) {
 func runTable1(seed int64, full bool) error {
 	cfg := experiments.DefaultTable1Config()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if !full {
 		cfg.Duration = 10 * time.Minute
 	}
@@ -111,6 +117,7 @@ func runTable1(seed int64, full bool) error {
 func runFigure8(seed int64, full bool) error {
 	cfg := experiments.DefaultFigure8Config()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if !full {
 		cfg.Duration = 3 * time.Hour
 		cfg.ParallelismSchedule = []int{1, 2, 4, 8}
@@ -292,7 +299,7 @@ func runScale(seed int64, full bool) error {
 	}
 	header("S11 — simulator scalability: N concurrent clients",
 		"component-scoped incremental allocation keeps per-event cost O(component)")
-	r, err := experiments.RunScale(seed, clients, mb)
+	r, err := experiments.RunScaleWorkers(seed, clients, mb, workers)
 	if err != nil {
 		return err
 	}
@@ -340,6 +347,7 @@ func runLifeline(seed int64, full bool) error {
 func runChaos(seed int64, full bool) error {
 	cfg := experiments.DefaultChaosConfig()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if full {
 		cfg.Files = 6
 		cfg.FileMB = 32

@@ -44,6 +44,9 @@ type Figure8Config struct {
 	HandshakeCost time.Duration
 	// Bucket is the series resolution (default 60s).
 	Bucket time.Duration
+	// Workers sets the event core's parallel component executor width
+	// (0 or 1 = sequential reference; results are byte-identical).
+	Workers int
 }
 
 // DefaultFigure8Config reproduces the paper's run.
@@ -75,6 +78,9 @@ type Figure8Result struct {
 	Restarts      int
 	ZeroBuckets   int // buckets with no progress (outages + dips)
 	OutageBuckets int // buckets fully inside scheduled outages
+	// Flight is the run's always-on flight recorder; the differential
+	// suite compares its dump byte-for-byte across worker counts.
+	Flight *flight.Recorder
 }
 
 // Rows summarizes the run.
@@ -112,6 +118,7 @@ func RunFigure8(cfg Figure8Config) (Figure8Result, error) {
 		cfg.ParallelismSchedule = []int{8}
 	}
 	clk := vtime.NewSim(cfg.Seed)
+	clk.SetWorkers(cfg.Workers)
 	n := simnet.New(clk)
 	rec := flight.New(0, 0)
 	rec.AttachCore(clk)
@@ -130,7 +137,7 @@ func RunFigure8(cfg Figure8Config) (Figure8Result, error) {
 	store := gridftp.NewVirtualStore()
 	store.Put("climate-2gb.dat", file)
 
-	res := Figure8Result{Config: cfg}
+	res := Figure8Result{Config: cfg, Flight: rec}
 	clk.Run(func() {
 		dallas := n.Host("dallas")
 		srv, err := gridftp.NewServer(gridftp.Config{

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. See skipUnderRace in differential_test.go for why two of the
+// differential tests are gated on it.
+const raceEnabled = true

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestRaceSoak drives the parallel component executor through seeded
+// chaos schedules with the fan engaged, as prey for the race detector:
+// every flush that qualifies runs its per-component allocation passes on
+// worker lanes, concurrently with the advancing goroutine waiting on the
+// fan barrier, while faults force conservative sequential flushes in
+// between — the exact handoff pattern a worker-pool bug would corrupt.
+// The invariant audit still runs, but the point of this test is the
+// schedule diversity under `-race`, not byte-identity (the differential
+// suite owns that).
+//
+// Under a plain build the same schedules are already covered by
+// TestChaosSoak and the differential suite, so the soak only runs when
+// the race detector is on. `make race` (part of `make check`) runs a
+// bounded smoke slice; `make race-soak` sets ESG_RACE_SOAK=full for all
+// 25 schedules. A failed run's flight dump lands in $ESG_FLIGHT_DIR via
+// dumpFlightOnFailure, next to its replay seed.
+func TestRaceSoak(t *testing.T) {
+	full := os.Getenv("ESG_RACE_SOAK") == "full"
+	if !raceEnabled && !full {
+		t.Skip("race-detector prey; covered by TestChaosSoak on plain builds (set ESG_RACE_SOAK=full to force)")
+	}
+	runs := 5 // smoke slice: keeps `make race` bounded on slow runners
+	if full {
+		runs = 25
+	}
+	const faults = 6
+	for i := 0; i < runs; i++ {
+		seed := int64(4000 + i)
+		cfg := soakConfig(seed)
+		// Workers >= 4 per the acceptance criteria; alternating widths
+		// also exercises pool reconfiguration across runs.
+		cfg.Workers = 4 + 4*int(seed%2)
+		sched := ChaosScheduleFor(cfg, seed, faults)
+		run, err := RunChaosSchedule(cfg, sched)
+		if err != nil {
+			t.Errorf("replay: ChaosScheduleFor(soakConfig(%d), %d, %d) workers=%d: run error: %v",
+				seed, seed, faults, cfg.Workers, err)
+			dumpFlightOnFailure(t, run, fmt.Sprintf("racesoak-seed%d", seed))
+			continue
+		}
+		if err := run.Report.Err(); err != nil {
+			t.Errorf("replay: ChaosScheduleFor(soakConfig(%d), %d, %d) workers=%d: %v",
+				seed, seed, faults, cfg.Workers, err)
+			dumpFlightOnFailure(t, run, fmt.Sprintf("racesoak-seed%d", seed))
+		}
+	}
+}

@@ -58,6 +58,10 @@ type Table1Config struct {
 	CongestedLossRate  float64
 	CleanDwellMean     time.Duration
 	CongestedDwellMean time.Duration
+	// Workers sets the event core's parallel component executor width
+	// (0 or 1 = sequential reference). Output is byte-identical either
+	// way; this only changes wall-clock cost.
+	Workers int
 }
 
 // DefaultTable1Config reproduces the paper's configuration.
@@ -92,6 +96,9 @@ type Table1Result struct {
 	TransfersStarted int
 	TransfersDone    int
 	Series           netlogger.Series // 5s aggregate-rate series
+	// Flight is the run's always-on flight recorder; the differential
+	// suite compares its dump byte-for-byte across worker counts.
+	Flight *flight.Recorder
 }
 
 // Rows renders the result as the paper's table rows.
@@ -125,6 +132,7 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 		return Table1Result{}, fmt.Errorf("experiments: bad table1 config %+v", cfg)
 	}
 	clk := vtime.NewSim(cfg.Seed)
+	clk.SetWorkers(cfg.Workers)
 	n := simnet.New(clk)
 	rec := flight.New(0, 0)
 	rec.AttachCore(clk)
@@ -167,7 +175,7 @@ func RunTable1(cfg Table1Config) (Table1Result, error) {
 	trust := gsi.NewTrustStore(ca)
 	partition := cfg.PartitionMB << 20
 
-	res := Table1Result{Config: cfg}
+	res := Table1Result{Config: cfg, Flight: rec}
 	var mu sync.Mutex
 
 	clk.Run(func() {

@@ -40,3 +40,13 @@ func TestMapRangeFlight(t *testing.T) {
 func TestMutexCopy(t *testing.T) {
 	RunAnalyzer(t, "testdata", "mutexcopy", MutexCopy)
 }
+
+func TestWorkerShared(t *testing.T) {
+	RunAnalyzer(t, "testdata", "workershared", WorkerShared)
+}
+
+func TestWorkerSharedIgnoresNonRunners(t *testing.T) {
+	// The fixture vtime package defines no RunTask, so the analyzer has
+	// nothing to say there.
+	RunAnalyzer(t, "testdata", "esgrid/internal/vtime", WorkerShared)
+}

@@ -7,7 +7,7 @@ import (
 )
 
 // All is the esglint analyzer suite, in reporting order.
-var All = []*Analyzer{VTimeClock, SeededRand, EmitKV, MapRange, MutexCopy}
+var All = []*Analyzer{VTimeClock, SeededRand, EmitKV, MapRange, MutexCopy, WorkerShared}
 
 // Run loads the packages matched by patterns (relative to dir) and runs
 // the analyzers over every non-test file, writing one

@@ -1,0 +1,64 @@
+// Fixture for the workershared analyzer: RunTask bodies with the
+// vtime.Runner signature must be effect-free.
+package workershared
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"esgrid/internal/vtime"
+)
+
+type leaky struct {
+	mu      sync.Mutex
+	results chan int
+	rng     *rand.Rand
+}
+
+func (l *leaky) RunTask(task, worker int) {
+	l.results <- task                       // want `channel send inside RunTask`
+	go l.helper()                           // want `go statement inside RunTask`
+	<-l.results                             // want `channel receive inside RunTask`
+	close(l.results)                        // want `channel close inside RunTask`
+	vtime.RealSleep(0)                      // want `clock/scheduler call vtime\.RealSleep inside RunTask`
+	l.mu.Lock()                             // want `blocking sync call sync\.Lock inside RunTask`
+	_ = l.rng.Intn(task)                    // want `RNG call rand\.Intn inside RunTask`
+	_ = rand.Float64()                      // want `RNG call rand\.Float64 inside RunTask`
+	l.mu.Unlock()                           // want `blocking sync call sync\.Unlock inside RunTask`
+}
+
+func (l *leaky) helper() {}
+
+// clean is the contract followed: task-local compute, disjoint result
+// windows, atomics for publication, and an annotated escape for the one
+// deliberate exception.
+type clean struct {
+	rates    []float64
+	done     atomic.Int32
+	progress chan int
+}
+
+func (c *clean) RunTask(task, worker int) {
+	sum := 0.0
+	for i := 0; i < task; i++ {
+		sum += float64(i)
+	}
+	c.rates[task] = sum // disjoint per-task slot: task-local by contract
+	c.done.Add(1)       // sync/atomic is the sanctioned publication path
+	c.progress <- task  //esglint:workershared lane-local progress channel drained by the caller after the fan
+}
+
+// other has the RunTask name but not the Runner signature, so its body
+// is not a fan task and channel traffic in it is fine.
+type other struct{ c chan int }
+
+func (o *other) RunTask(task int) {
+	o.c <- task
+}
+
+// sender is an ordinary method: sends outside RunTask are not this
+// analyzer's business.
+func (l *leaky) sender(v int) {
+	l.results <- v
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WorkerShared polices the vtime.Runner contract (DESIGN.md §13): a
+// RunTask body runs concurrently on worker lanes during a Fan, so it
+// must be effect-free with respect to the simulation — writes confined
+// to task-local state, every observable effect applied by the caller
+// after the fan in canonical task order. An effectful operation inside
+// a task body is exactly the bug the differential suite exists to
+// catch, except the analyzer catches it at vet time and even on paths
+// no differential config reaches.
+//
+// Flagged inside any method named RunTask with the Runner signature
+// (task, worker int):
+//
+//   - go statements, channel sends/receives/closes — publishing to or
+//     synchronizing with other goroutines mid-fan;
+//   - calls into internal/vtime — clock reads, sleeps, timer and event
+//     scheduling all mutate the event stream;
+//   - calls into math/rand — draws advance shared RNG state in
+//     lane-dependent order;
+//   - calls into package sync — a task taking a lock the advancing
+//     goroutine holds (Net.mu during a flush) deadlocks the fan.
+//
+// sync/atomic stays legal: it is how the pool itself publishes results,
+// and lane-local atomics are the sanctioned escape valve. Genuinely
+// safe uses (say, a lane-local progress channel drained after the fan)
+// carry //esglint:workershared <reason>.
+var WorkerShared = &Analyzer{
+	Name:   "workershared",
+	Doc:    "flag effectful operations inside worker-pool RunTask bodies",
+	Escape: "workershared",
+	Run:    runWorkerShared,
+}
+
+func runWorkerShared(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isRunTaskDecl(pass, fd) {
+				continue
+			}
+			checkTaskBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// isRunTaskDecl reports whether fd is a method named RunTask with the
+// vtime.Runner signature: two int parameters, no results. The shape is
+// distinctive enough that matching on it (rather than proving the
+// receiver implements the interface) keeps the analyzer independent of
+// where Runner is declared.
+func isRunTaskDecl(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "RunTask" {
+		return false
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 0 || sig.Params().Len() != 2 {
+		return false
+	}
+	for i := 0; i < 2; i++ {
+		b, ok := sig.Params().At(i).Type().(*types.Basic)
+		if !ok || b.Kind() != types.Int {
+			return false
+		}
+	}
+	return true
+}
+
+// taskForbiddenPkgs maps package paths whose calls are effectful from a
+// worker lane to the reason fragment reported.
+var taskForbiddenPkgs = map[string]string{
+	"math/rand":    "RNG call",
+	"math/rand/v2": "RNG call",
+	"sync":         "blocking sync call",
+}
+
+func checkTaskBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			reportTaskEffect(pass, n.Pos(), "go statement")
+		case *ast.SendStmt:
+			reportTaskEffect(pass, n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportTaskEffect(pass, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					reportTaskEffect(pass, n.Pos(), "channel close")
+					return true
+				}
+			}
+			fn := calleeFunc(pass, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if isVtimePath(path) {
+				reportTaskEffect(pass, n.Pos(), "clock/scheduler call "+fn.Pkg().Name()+"."+fn.Name())
+				return true
+			}
+			if what, ok := taskForbiddenPkgs[path]; ok {
+				reportTaskEffect(pass, n.Pos(), what+" "+fn.Pkg().Name()+"."+fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// isVtimePath matches the real clock package and its fixture twin.
+func isVtimePath(path string) bool {
+	return path == "internal/vtime" || strings.HasSuffix(path, "/internal/vtime")
+}
+
+func reportTaskEffect(pass *Pass, pos token.Pos, what string) {
+	pass.Reportf(pos,
+		"%s inside RunTask: fan task bodies must be effect-free — confine writes to task-local state and apply effects after the fan in canonical order, or annotate //esglint:workershared <reason>",
+		what)
+}

@@ -116,31 +116,58 @@ type Meter struct {
 	mu      sync.Mutex
 	t0      time.Time
 	samples []float64 // cumulative counter at t0 + i*interval
+	lastAt  time.Time // instant of the most recent sample
+	timer   vtime.Timer
+	tickFn  func() // m.tick, bound once so re-arming never allocates
 	stopped bool
 }
 
+// siteMeterSample tags the meter's sampling timer in event provenance.
+var siteMeterSample = vtime.RegisterSite("netlogger.meter-sample")
+
 // NewMeter starts sampling fn every interval on clk until Stop.
+//
+// Samples are taken from a timer callback, not a sleeping goroutine: an
+// event callback runs at a fixed position in its instant's event order,
+// whereas a woken goroutine's read interleaves with whatever other
+// goroutines the same instant made runnable, in scheduler order. The
+// counter value is the same either way, but the *fold point* of rate
+// extrapolation is not, and folding a flow's progress in two steps
+// instead of one rounds differently in the last float bits — enough to
+// make two runs of the same seed disagree. The timer keeps every sample
+// a pure function of the event history.
 func NewMeter(clk vtime.Clock, interval time.Duration, fn func() float64) *Meter {
 	m := &Meter{clk: clk, interval: interval, sample: fn, t0: clk.Now()}
+	m.lastAt = m.t0
 	m.samples = append(m.samples, fn())
-	clk.Go(m.loop)
+	m.tickFn = m.tick
+	m.timer = vtime.AfterFuncTagged(clk, siteMeterSample, interval, m.tickFn)
 	return m
 }
 
-func (m *Meter) loop() {
-	for {
-		m.clk.Sleep(m.interval)
-		m.mu.Lock()
-		if m.stopped {
-			m.mu.Unlock()
-			return
-		}
-		m.samples = append(m.samples, m.sample())
+func (m *Meter) tick() {
+	m.mu.Lock()
+	if m.stopped {
 		m.mu.Unlock()
+		return
 	}
+	m.lastAt = m.clk.Now()
+	m.samples = append(m.samples, m.sample())
+	// Periodic re-arm. On a Sim this is RearmFiring — a field write that
+	// reuses the firing event's slot, so steady-state sampling allocates
+	// nothing and m.timer's id stays valid for Stop. Elsewhere (Real
+	// clock) it falls back to arming a fresh timer with the bound tickFn.
+	if s, ok := m.clk.(*vtime.Sim); ok {
+		s.RearmFiring(m.interval)
+	} else {
+		m.timer = vtime.AfterFuncTagged(m.clk, siteMeterSample, m.interval, m.tickFn)
+	}
+	m.mu.Unlock()
 }
 
-// Stop halts sampling after recording one final sample.
+// Stop halts sampling after recording one final sample covering the tail
+// since the last tick; if a tick already sampled at this very instant the
+// final sample is skipped rather than duplicated.
 func (m *Meter) Stop() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -148,7 +175,13 @@ func (m *Meter) Stop() {
 		return
 	}
 	m.stopped = true
-	m.samples = append(m.samples, m.sample())
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	if now := m.clk.Now(); !now.Equal(m.lastAt) {
+		m.lastAt = now
+		m.samples = append(m.samples, m.sample())
+	}
 }
 
 // Interval returns the sampling cadence.

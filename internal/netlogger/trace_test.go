@@ -33,10 +33,13 @@ func TestRateSeriesEmitsPartialBucket(t *testing.T) {
 		var bytes float64
 		m := NewMeter(clk, 100*time.Millisecond, func() float64 { return bytes })
 		// 2.5 s at a steady 1000 units/s with 1 s buckets: two full
-		// buckets plus a 0.5 s partial that must not be dropped.
+		// buckets plus a 0.5 s partial that must not be dropped. The
+		// increment precedes the sleep because the meter samples at its
+		// timer's event position, ahead of goroutines woken at the same
+		// instant.
 		for i := 0; i < 25; i++ {
-			clk.Sleep(100 * time.Millisecond)
 			bytes += 100
+			clk.Sleep(100 * time.Millisecond)
 		}
 		m.Stop()
 		s := m.RateSeries(time.Second)

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"math"
+	"slices"
 	"time"
 )
 
@@ -57,6 +58,7 @@ func (n *Net) attachLocked(f *flow) {
 		return
 	}
 	n.csrGen++
+	n.markStructuralLocked()
 	refs := f.refs()
 	if cap(f.resPos) < len(refs) {
 		f.resPos = make([]int, len(refs))
@@ -77,6 +79,7 @@ func (n *Net) detachLocked(f *flow) {
 		return
 	}
 	n.csrGen++
+	n.markStructuralLocked()
 	for j, rr := range f.refs() {
 		r := rr.r
 		p := f.resPos[j]
@@ -147,28 +150,45 @@ func (n *Net) flushLocked() {
 	}
 	now := n.clk.Elapsed()
 	n.epoch++
-	for _, f := range n.dirtyFlows {
-		f.dirty = false
-		if f.removed || !f.active || f.epoch == n.epoch {
-			continue
+	// Canonicalize the seed order before any component is gathered.
+	// Several goroutines runnable at the same instant append their dirty
+	// marks in whatever order they reach the lock, and progressive
+	// filling's floating-point rounding depends on visit order — sorting
+	// by creation stamp makes every flush (and so every rate bit) a pure
+	// function of the event history, which is also what lets the
+	// parallel fan's canonical merge reproduce this path exactly.
+	sortFlowsBySeq(n.dirtyFlows)
+	sortResByID(n.dirtyRes)
+	// When workers are enabled and the instant is structurally quiet,
+	// the flush fans the per-component passes out to the worker pool
+	// (parflush.go) and merges in canonical order; otherwise this is
+	// the sequential reference path.
+	if !n.tryParallelFlushLocked(now) {
+		for _, f := range n.dirtyFlows {
+			f.dirty = false
+			if f.removed || !f.active || f.epoch == n.epoch {
+				continue
+			}
+			n.reallocComponentLocked(f, now)
 		}
-		n.reallocComponentLocked(f, now)
-	}
-	for _, r := range n.dirtyRes {
-		r.dirty = false
-		// Every flow on r is in r's component; the first unvisited one
-		// pulls in all the others (and r itself) via the BFS.
-		for _, e := range r.flows {
-			if e.f.epoch != n.epoch {
-				n.reallocComponentLocked(e.f, now)
+		for _, r := range n.dirtyRes {
+			r.dirty = false
+			// Every flow on r is in r's component; the first unvisited one
+			// pulls in all the others (and r itself) via the BFS.
+			for _, e := range r.flows {
+				if e.f.epoch != n.epoch {
+					n.reallocComponentLocked(e.f, now)
+				}
 			}
 		}
 	}
 	n.dirtyFlows = n.dirtyFlows[:0]
 	n.dirtyRes = n.dirtyRes[:0]
+	n.parUnsafe = false
 	if n.verifyAllocs {
 		n.verifyAllocationsLocked()
 	}
+	n.observeFlushLocked(now)
 }
 
 // reallocComponentLocked gathers the connected component containing seed
@@ -194,6 +214,7 @@ func (n *Net) reallocComponentLocked(seed *flow, now time.Duration) {
 			}
 		}
 	}
+	sortFlowsBySeq(comp)
 	n.scrComp = comp
 	n.allocPasses++
 	n.allocFlows += uint64(len(comp))
@@ -272,4 +293,23 @@ func flowEndName(h *Host) string {
 		return "?"
 	}
 	return h.name
+}
+
+// sortFlowsBySeq orders flows by creation stamp — the canonical
+// allocation order. Allocation-free (pdqsort on a captureless closure).
+func sortFlowsBySeq(fs []*flow) {
+	slices.SortFunc(fs, func(a, b *flow) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+}
+
+// sortResByID orders resources by their dense creation-order ids.
+func sortResByID(rs []*res) {
+	slices.SortFunc(rs, func(a, b *res) int { return a.id - b.id })
 }

@@ -700,6 +700,10 @@ func (h *Host) SetDown(down bool) {
 	n := h.net
 	n.mu.Lock()
 	h.down = down
+	// A crash (or reboot) restructures components this instant: the
+	// resets below detach flows, but latch conservatively up front so
+	// even a connectionless host-down flushes sequentially.
+	n.markStructuralLocked()
 	var victims []*Conn
 	if down {
 		victims = h.connsBySeqLocked()

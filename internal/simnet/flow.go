@@ -70,6 +70,10 @@ type flow struct {
 
 	resRefs []hostRes // cached resource membership (see refs)
 
+	// seq is the flow's creation stamp (registerFlowLocked): the stable
+	// sort key that canonicalizes allocation order within a flush.
+	seq uint64
+
 	// Incremental allocation state (alloc.go): whether the flow is
 	// entered in its resources' membership lists, its position in each
 	// (parallel to resRefs), the flush visit stamp, whether it is queued
@@ -114,6 +118,7 @@ func (f *flow) refs() []hostRes {
 func (f *flow) invalidateRefs() {
 	f.resRefs = nil
 	f.net.csrGen++
+	f.net.markStructuralLocked()
 }
 
 func newFlow(n *Net, c *Conn, dir int, src, dst *Host, path []*simplex, buffer int, mss int) *flow {

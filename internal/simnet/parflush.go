@@ -1,0 +1,211 @@
+package simnet
+
+import (
+	"math"
+	"time"
+)
+
+// Parallel end-of-instant flush.
+//
+// Max-min allocation decomposes exactly over connected components of the
+// resource-sharing graph (alloc.go), and the flush already re-allocates
+// one component at a time. This file fans those per-component passes out
+// to the clock's worker pool (vtime.Fan): the BFS gather stays serial
+// under Net.mu, the pure compute — folding transmission progress and
+// running the water-filling kernel on each component's private
+// allocScratch — runs on parallel lanes, and every observable effect is
+// applied afterwards by the advancing goroutine in canonical component
+// order. "Canonical" means dirty-seed discovery order, which is itself
+// a deterministic function of the event sequence, so the rate
+// applications, completion/loss timer (re)schedules, RNG draws, flight
+// records and counter increments happen in exactly the order the
+// sequential flush would produce them — the event stream, logs and
+// dumps stay byte-identical for equal seeds at any worker count.
+//
+// The fan tasks are effect-free by construction: a task reads only
+// state frozen for the instant (membership edges, window caps, resource
+// capacities — the simulator is quiescent and the advancing goroutine
+// is the one waiting on the barrier) and writes only flow-local fold
+// counters and disjoint slices of the shared rate buffer. Tasks never
+// touch the clock, the RNG, the logger or the recorder.
+//
+// Conservative merge: instants that change the component structure
+// itself — flow attach/detach (dials, completions, disk rebinding),
+// host crashes, anything that bumps the membership generation — set
+// parUnsafe, and that flush runs the plain sequential path. Splitting
+// or joining components is only observable at a flush boundary, so
+// handling structural instants sequentially keeps the parallel path's
+// frozen-input assumption trivially true. Differential-verification
+// mode forces sequential likewise.
+
+// parMinFlows is the minimum number of gathered flows worth a fan;
+// below it the gathered components run inline on lane 0 (counted in
+// seqFlushes), since waking workers costs more than the passes.
+const parMinFlows = 8
+
+// parRunner adapts the Net's per-component task into a vtime.Runner
+// without a per-flush closure allocation (New wires parRun.n).
+type parRunner struct{ n *Net }
+
+// RunTask computes rates for gathered component task on worker lane
+// worker. Effect-free: folds are flow-local, results land in the
+// task's disjoint parRates window, and the lane's own allocScratch
+// absorbs all allocator state.
+func (pr *parRunner) RunTask(task, worker int) {
+	n := pr.n
+	lo, hi := n.parComps[task], n.parComps[task+1]
+	comp := n.parFlows[lo:hi]
+	now := n.parNow
+	for _, f := range comp {
+		f.fold(now)
+	}
+	if len(comp) == 1 {
+		// Same closed form as the sequential single-flow fast path.
+		f := comp[0]
+		rate := f.windowCap
+		for _, rr := range f.refs() {
+			if r := rr.r.effective() / rr.w; r < rate {
+				rate = r
+			}
+		}
+		if math.IsInf(rate, 1) {
+			rate = loopbackBps
+		}
+		n.parRates[lo] = rate
+		return
+	}
+	rates := n.parScr[worker].alloc(comp, n.nextResID, n.csrGen)
+	copy(n.parRates[lo:hi], rates)
+}
+
+// markStructuralLocked latches a component-structure change for the
+// current instant: the next flush takes the conservative sequential
+// path. Caller holds Net.mu.
+func (n *Net) markStructuralLocked() { n.parUnsafe = true }
+
+// gatherComponentLocked appends seed's connected component (flows
+// transitively linked through shared resources) to buf, epoch-stamping
+// flows and resources so each is visited once per flush. Identical
+// traversal to reallocComponentLocked's gather, so discovery order —
+// and with it allocation order and floating-point rounding — matches
+// the sequential flush exactly. Caller holds Net.mu.
+func (n *Net) gatherComponentLocked(seed *flow, buf []*flow) []*flow {
+	base := len(buf)
+	seed.epoch = n.epoch
+	buf = append(buf, seed)
+	for i := base; i < len(buf); i++ {
+		for _, rr := range buf[i].refs() {
+			r := rr.r
+			if r.epoch == n.epoch {
+				continue
+			}
+			r.epoch = n.epoch
+			for _, e := range r.flows {
+				if e.f.epoch != n.epoch {
+					e.f.epoch = n.epoch
+					buf = append(buf, e.f)
+				}
+			}
+		}
+	}
+	// Same canonical in-component order as the sequential path, so the
+	// kernel's float rounding and the merge's setRate order match it.
+	sortFlowsBySeq(buf[base:])
+	return buf
+}
+
+// tryParallelFlushLocked runs the gather / fan / merge flush when the
+// instant qualifies; it reports false (having consumed nothing) when
+// the flush must take the sequential path. Caller holds Net.mu and has
+// already bumped the visit epoch.
+func (n *Net) tryParallelFlushLocked(now time.Duration) bool {
+	w := n.clk.Workers()
+	if w < 2 {
+		return false
+	}
+	if n.parUnsafe || n.verifyAllocs {
+		n.consFlushes++
+		return false
+	}
+
+	// Serial gather, in the sequential flush's dirty-seed order.
+	comps := n.parComps[:0]
+	buf := n.parFlows[:0]
+	for _, f := range n.dirtyFlows {
+		f.dirty = false
+		if f.removed || !f.active || f.epoch == n.epoch {
+			continue
+		}
+		comps = append(comps, int32(len(buf)))
+		buf = n.gatherComponentLocked(f, buf)
+	}
+	for _, r := range n.dirtyRes {
+		r.dirty = false
+		for _, e := range r.flows {
+			if e.f.epoch != n.epoch {
+				comps = append(comps, int32(len(buf)))
+				buf = n.gatherComponentLocked(e.f, buf)
+			}
+		}
+	}
+	comps = append(comps, int32(len(buf)))
+	n.parComps = comps
+	n.parFlows = buf
+	ncomp := len(comps) - 1
+	if ncomp == 0 {
+		return true // all seeds were stale; nothing to do
+	}
+	if cap(n.parRates) < len(buf) {
+		n.parRates = make([]float64, len(buf))
+	}
+	n.parRates = n.parRates[:len(buf)]
+	for len(n.parScr) < w {
+		n.parScr = append(n.parScr, &allocScratch{})
+	}
+	n.parNow = now
+
+	// Parallel compute — or inline on lane 0 when the batch is too small
+	// or has no cross-lane parallelism to exploit.
+	if ncomp >= 2 && len(buf) >= parMinFlows {
+		n.parFlushes++
+		n.clk.Fan(ncomp, &n.parRun)
+	} else {
+		n.seqFlushes++
+		for t := 0; t < ncomp; t++ {
+			n.parRun.RunTask(t, 0)
+		}
+	}
+
+	// Canonical merge: all observable effects, in discovery order — the
+	// same (record, rate application, timer, RNG) sequence per component
+	// the sequential flush produces.
+	for t := 0; t < ncomp; t++ {
+		lo, hi := comps[t], comps[t+1]
+		comp := n.parFlows[lo:hi]
+		n.allocPasses++
+		n.allocFlows += uint64(len(comp))
+		if n.rec != nil {
+			n.rec.AllocPass(int64(now), int64(len(comp)), int64(n.allocPasses))
+		}
+		for i, f := range comp {
+			f.setRate(now, n.parRates[int(lo)+i])
+		}
+	}
+	// Drop gathered flow pointers so completed transfers are collectable
+	// (the tail beyond len is already nil from the previous flush's clear).
+	for i := range buf {
+		buf[i] = nil
+	}
+	return true
+}
+
+// ParStats reports how flushes have executed since the Net was created:
+// parallel fans, conservative sequential flushes forced by a structural
+// change (or verification mode) while workers were enabled, and
+// below-threshold flushes that ran inline. With workers disabled all
+// three stay zero — the plain sequential flush path does not count.
+func (n *Net) ParStats() (parallel, conservative, inline uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parFlushes, n.consFlushes, n.seqFlushes
+}

@@ -1,0 +1,491 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"esgrid/internal/transport"
+	"esgrid/internal/vtime"
+)
+
+// dirtyAll marks every active flow dirty, the way a burst of same-instant
+// window events would, with the flush latch held so tests drive flushes
+// by hand.
+func dirtyAll(n *Net, flows []*flow) {
+	n.mu.Lock()
+	n.flushPending = true
+	for _, f := range flows {
+		if f.active {
+			n.markFlowDirtyLocked(f)
+		}
+	}
+	n.mu.Unlock()
+}
+
+func flushByHand(n *Net) {
+	n.mu.Lock()
+	n.flushLocked()
+	n.mu.Unlock()
+}
+
+// TestParallelFlushMatchesSequential is the simnet-level differential
+// check: identical nets, identical deterministic mutation schedules, one
+// flushed sequentially and one through the worker fan — every flow's
+// rate must match bit for bit after every flush, and the allocation-pass
+// accounting must be identical. Structural rounds are mixed in so the
+// conservative path is exercised inside the same schedule.
+func TestParallelFlushMatchesSequential(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			seqN, seqFlows := buildBenchNet(96)
+			parN, parFlows := buildBenchNet(96)
+			parN.clk.SetWorkers(workers)
+			t.Cleanup(func() { parN.clk.SetWorkers(1) })
+
+			mutate := func(n *Net, flows []*flow, round int) {
+				n.mu.Lock()
+				n.flushPending = true
+				if round%7 == 3 {
+					// Structural: detach one flow (component split).
+					f := flows[round%len(flows)]
+					if f.active {
+						f.active = false
+						n.flowDeactivatedLocked(f)
+					}
+				}
+				if round%7 == 5 {
+					// Structural: re-attach it (component join).
+					f := flows[(round-2)%len(flows)]
+					if !f.active {
+						f.active = true
+						n.flowActivatedLocked(f)
+					}
+				}
+				for i, f := range flows {
+					if !f.active {
+						continue
+					}
+					f.windowCap = float64(20+((round*13+i*7)%80)) * 1e6
+					n.markFlowDirtyLocked(f)
+				}
+				n.mu.Unlock()
+			}
+
+			for round := 0; round < 60; round++ {
+				mutate(seqN, seqFlows, round)
+				mutate(parN, parFlows, round)
+				flushByHand(seqN)
+				flushByHand(parN)
+				for i := range seqFlows {
+					sr, pr := seqFlows[i].rate, parFlows[i].rate
+					if math.Float64bits(sr) != math.Float64bits(pr) {
+						t.Fatalf("round %d flow %d: sequential rate %v != parallel rate %v",
+							round, i, sr, pr)
+					}
+				}
+			}
+			sp, sf := seqN.AllocStats()
+			pp, pf := parN.AllocStats()
+			if sp != pp || sf != pf {
+				t.Fatalf("alloc accounting diverged: sequential (%d passes, %d flows) vs parallel (%d, %d)",
+					sp, sf, pp, pf)
+			}
+			par, cons, _ := parN.ParStats()
+			if par == 0 {
+				t.Fatal("parallel path never ran; the differential proved nothing")
+			}
+			if cons == 0 {
+				t.Fatal("conservative path never ran; structural rounds did not trigger it")
+			}
+			if sPar, _, _ := seqN.ParStats(); sPar != 0 {
+				t.Fatalf("sequential net ran %d parallel flushes", sPar)
+			}
+		})
+	}
+}
+
+// TestStructuralInstantsForceConservative covers each structural trigger
+// individually: component split (detach), component join (attach), disk
+// rebinding (edge change), and host-down — each must force exactly the
+// next flush onto the conservative path, and the latch must clear after
+// it so steady-state instants fan again.
+func TestStructuralInstantsForceConservative(t *testing.T) {
+	n, flows := buildBenchNet(64)
+	n.clk.SetWorkers(4)
+	t.Cleanup(func() { n.clk.SetWorkers(1) })
+
+	expect := func(step string, wantPar, wantCons uint64) {
+		t.Helper()
+		par, cons, _ := n.ParStats()
+		if par != wantPar || cons != wantCons {
+			t.Fatalf("%s: ParStats = (par %d, cons %d), want (%d, %d)",
+				step, par, cons, wantPar, wantCons)
+		}
+	}
+
+	// buildBenchNet's setup flush ran before workers were enabled; the
+	// first hand-driven flush must see a quiet instant and fan.
+	dirtyAll(n, flows)
+	flushByHand(n)
+	expect("steady flush", 1, 0)
+
+	// Split: a flow detaches mid-instant.
+	n.mu.Lock()
+	n.flushPending = true
+	flows[0].active = false
+	n.flowDeactivatedLocked(flows[0])
+	for _, f := range flows[1:] {
+		n.markFlowDirtyLocked(f)
+	}
+	n.mu.Unlock()
+	flushByHand(n)
+	expect("detach instant", 1, 1)
+
+	dirtyAll(n, flows)
+	flushByHand(n)
+	expect("latch cleared after detach", 2, 1)
+
+	// Join: the flow re-attaches.
+	n.mu.Lock()
+	n.flushPending = true
+	flows[0].active = true
+	n.flowActivatedLocked(flows[0])
+	n.mu.Unlock()
+	flushByHand(n)
+	expect("attach instant", 2, 2)
+
+	// Edge change: disk rebinding invalidates cached refs.
+	n.mu.Lock()
+	n.flushPending = true
+	flows[1].diskBound = !flows[1].diskBound
+	flows[1].invalidateRefs()
+	n.markFlowDirtyLocked(flows[1])
+	n.mu.Unlock()
+	flushByHand(n)
+	expect("rebind instant", 2, 3)
+
+	// Host-down: latched even before any conn resets land.
+	n.Host("src0000").SetDown(true)
+	dirtyAll(n, flows)
+	flushByHand(n)
+	expect("host-down instant", 2, 4)
+
+	// Reboot restructures too (clients re-dial): also conservative.
+	n.Host("src0000").SetDown(false)
+	dirtyAll(n, flows)
+	flushByHand(n)
+	expect("reboot instant", 2, 5)
+
+	dirtyAll(n, flows)
+	flushByHand(n)
+	expect("steady again", 3, 5)
+}
+
+// TestBelowThresholdFlushRunsInline: one small dirty component is not
+// worth waking the pool; it must run inline (and still correctly).
+func TestBelowThresholdFlushRunsInline(t *testing.T) {
+	n, flows := buildBenchNet(16)
+	n.clk.SetWorkers(4)
+	t.Cleanup(func() { n.clk.SetWorkers(1) })
+
+	// Dirty a single flow: one component, below parMinFlows unless the
+	// pair has >= parMinFlows flows (buildBenchNet puts 8 per pair, so
+	// dirty exactly one pair: 8 flows, 1 component — inline on the
+	// component-count test).
+	n.mu.Lock()
+	n.flushPending = true
+	n.markFlowDirtyLocked(flows[0])
+	n.mu.Unlock()
+	flushByHand(n)
+	par, cons, inline := n.ParStats()
+	if par != 0 || cons != 0 || inline != 1 {
+		t.Fatalf("ParStats = (%d, %d, %d), want inline-only (0, 0, 1)", par, cons, inline)
+	}
+	if flows[0].rate == 0 {
+		t.Fatal("inline flush did not allocate a rate")
+	}
+}
+
+// TestSameInstantCrossComponentDials drives real connections: two
+// clients in disjoint components dial at the same virtual instant. The
+// dial instant attaches flows in two different components at once — a
+// structural instant that must flush conservatively — while the
+// steady transfer instants that follow fan in parallel, and the whole
+// run must be byte-identical to the sequential reference.
+func TestSameInstantCrossComponentDials(t *testing.T) {
+	type outcome struct {
+		done   [2]time.Duration
+		passes uint64
+		flows  uint64
+		par    uint64
+		cons   uint64
+	}
+	run := func(workers int) outcome {
+		clk := vtime.NewSim(11)
+		clk.SetWorkers(workers)
+		defer clk.SetWorkers(1)
+		n := New(clk)
+		for p := 0; p < 2; p++ {
+			a := fmt.Sprintf("a%d", p)
+			b := fmt.Sprintf("b%d", p)
+			n.AddHost(a, HostConfig{DefaultBufferBytes: 1 << 20})
+			n.AddHost(b, HostConfig{DefaultBufferBytes: 1 << 20})
+			n.AddLink(a, b, LinkConfig{CapacityBps: 100e6, Delay: 2 * time.Millisecond})
+		}
+		var out outcome
+		clk.Run(func() {
+			const total = 4 << 20
+			for p := 0; p < 2; p++ {
+				p := p
+				l, err := n.Host(fmt.Sprintf("b%d", p)).Listen(":9000")
+				if err != nil {
+					t.Errorf("listen: %v", err)
+					return
+				}
+				clk.Go(func() {
+					c, err := l.Accept()
+					if err != nil {
+						t.Errorf("accept: %v", err)
+						return
+					}
+					defer c.Close()
+					transport.ReadVirtualFrom(c, total)
+				})
+			}
+			wg := vtime.NewWaitGroup(clk)
+			for p := 0; p < 2; p++ {
+				p := p
+				wg.Add(1)
+				clk.Go(func() {
+					defer wg.Done()
+					// No stagger: both dials land on the same instant.
+					c, err := n.Host(fmt.Sprintf("a%d", p)).Dial(fmt.Sprintf("b%d:9000", p))
+					if err != nil {
+						t.Errorf("dial: %v", err)
+						return
+					}
+					defer c.Close()
+					if _, err := transport.WriteVirtualTo(c, total); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+					out.done[p] = clk.Now().Sub(vtime.Epoch)
+				})
+			}
+			wg.Wait()
+		})
+		out.passes, out.flows = n.AllocStats()
+		out.par, out.cons, _ = n.ParStats()
+		return out
+	}
+
+	base := run(1)
+	if base.par != 0 || base.cons != 0 {
+		t.Fatalf("sequential run used the parallel machinery: %+v", base)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.done != base.done || got.passes != base.passes || got.flows != base.flows {
+			t.Fatalf("workers=%d diverged from sequential: got %+v, base %+v", workers, got, base)
+		}
+		if got.cons == 0 {
+			t.Errorf("workers=%d: same-instant cross-component dials never forced the conservative path", workers)
+		}
+	}
+}
+
+// TestParallelRunByteIdentical is the end-to-end simnet determinism
+// check under the real event loop with loss (RNG draws on the merge
+// path): disjoint site pairs transferring concurrently must complete at
+// bit-identical virtual instants at every worker count, with identical
+// allocator accounting — and the parallel path must actually run.
+func TestParallelRunByteIdentical(t *testing.T) {
+	const pairs, conns = 4, 4
+	type outcome struct {
+		done   [pairs * conns]time.Duration
+		passes uint64
+		flows  uint64
+	}
+	run := func(workers int) (outcome, uint64) {
+		clk := vtime.NewSim(23)
+		clk.SetWorkers(workers)
+		defer clk.SetWorkers(1)
+		n := New(clk)
+		for p := 0; p < pairs; p++ {
+			a := fmt.Sprintf("a%d", p)
+			b := fmt.Sprintf("b%d", p)
+			n.AddHost(a, HostConfig{DefaultBufferBytes: 1 << 20})
+			n.AddHost(b, HostConfig{DefaultBufferBytes: 1 << 20})
+			n.AddLink(a, b, LinkConfig{
+				CapacityBps: 200e6, Delay: 3 * time.Millisecond, LossRate: 1e-5,
+			})
+		}
+		var out outcome
+		clk.Run(func() {
+			const total = 2 << 20
+			for p := 0; p < pairs; p++ {
+				l, err := n.Host(fmt.Sprintf("b%d", p)).Listen(":9000")
+				if err != nil {
+					t.Errorf("listen: %v", err)
+					return
+				}
+				for c := 0; c < conns; c++ {
+					clk.Go(func() {
+						cc, err := l.Accept()
+						if err != nil {
+							return
+						}
+						defer cc.Close()
+						transport.ReadVirtualFrom(cc, total)
+					})
+				}
+			}
+			wg := vtime.NewWaitGroup(clk)
+			for p := 0; p < pairs; p++ {
+				for c := 0; c < conns; c++ {
+					p, c := p, c
+					wg.Add(1)
+					clk.Go(func() {
+						defer wg.Done()
+						clk.Sleep(time.Duration(c) * 100 * time.Microsecond)
+						cc, err := n.Host(fmt.Sprintf("a%d", p)).Dial(fmt.Sprintf("b%d:9000", p))
+						if err != nil {
+							t.Errorf("dial: %v", err)
+							return
+						}
+						defer cc.Close()
+						if _, err := transport.WriteVirtualTo(cc, total); err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+						out.done[p*conns+c] = clk.Now().Sub(vtime.Epoch)
+					})
+				}
+			}
+			wg.Wait()
+		})
+		out.passes, out.flows = n.AllocStats()
+		par, _, _ := n.ParStats()
+		return out, par
+	}
+
+	base, _ := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got, par := run(workers)
+		if got != base {
+			t.Fatalf("workers=%d diverged from sequential run", workers)
+		}
+		if par == 0 {
+			t.Errorf("workers=%d: no flush ever fanned; test exercised nothing", workers)
+		}
+	}
+}
+
+// TestParallelFlushAllocFree pins the whole parallel flush path —
+// gather, fan dispatch, per-lane allocation passes, canonical merge —
+// at zero steady-state allocations, next to the sequential allocator's
+// own guarantee.
+func TestParallelFlushAllocFree(t *testing.T) {
+	n, flows := buildBenchNet(128)
+	n.clk.SetWorkers(4)
+	t.Cleanup(func() { n.clk.SetWorkers(1) })
+	caps := [2]float64{40e6, 80e6}
+	round := 0
+	cycle := func() {
+		n.mu.Lock()
+		n.flushPending = true
+		for _, f := range flows {
+			f.windowCap = caps[round%2]
+			n.markFlowDirtyLocked(f)
+		}
+		n.mu.Unlock()
+		flushByHand(n)
+		round++
+	}
+	for i := 0; i < 4; i++ {
+		cycle() // warm lane scratches, gather buffers, CSR caches
+	}
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs > 0 {
+		t.Errorf("parallel flush allocates %.1f objects per instant, want 0", allocs)
+	}
+	par, _, _ := n.ParStats()
+	if par == 0 {
+		t.Fatal("guard never exercised the parallel path")
+	}
+}
+
+// buildParBenchNet builds nComp disjoint components of perComp flows
+// each sharing one saturated 1 Gb/s link (half the flows window-limited
+// below their fair share, so every pass runs the full water-filling
+// rounds, never the caps-feasible fast path).
+func buildParBenchNet(nComp, perComp int) (*Net, []*flow) {
+	clk := vtime.NewSim(1)
+	n := New(clk)
+	flows := make([]*flow, 0, nComp*perComp)
+	for p := 0; p < nComp; p++ {
+		src := n.AddHost(fmt.Sprintf("s%04d", p), HostConfig{})
+		dst := n.AddHost(fmt.Sprintf("d%04d", p), HostConfig{})
+		n.AddLink(src.name, dst.name, LinkConfig{CapacityBps: 1e9, Delay: 5 * time.Millisecond})
+		n.mu.Lock()
+		path, err := n.routeLocked(src.name, dst.name)
+		n.mu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+		for k := 0; k < perComp; k++ {
+			windowCap := math.Inf(1)
+			if k%2 == 1 {
+				windowCap = 4e6 // well below the 1e9/perComp fair share
+			}
+			f := newChurnFlow(n, src, dst, path, windowCap)
+			f.active = true
+			n.mu.Lock()
+			n.flowActivatedLocked(f)
+			n.mu.Unlock()
+			flows = append(flows, f)
+		}
+	}
+	n.mu.Lock()
+	n.flushPending = true
+	n.flushLocked()
+	n.mu.Unlock()
+	return n, flows
+}
+
+// BenchmarkParallelFlush measures the fanned end-of-instant flush over
+// 64 disjoint 64-flow components in the steady state real runs live in:
+// every component re-allocates (full water-filling rounds on every
+// pass), rates have converged, so the serial merge is cheap and the
+// measured cost is gather + the parallelizable allocation kernel. This
+// is the harness-speed curve for the worker pool itself; end-to-end
+// experiment speedup is bounded by the flush's share of total wall time
+// (EXPERIMENTS.md).
+func BenchmarkParallelFlush(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			n, flows := buildParBenchNet(64, 64)
+			n.clk.SetWorkers(workers)
+			defer n.clk.SetWorkers(1)
+			cycle := func() {
+				n.mu.Lock()
+				n.flushPending = true
+				for _, f := range flows {
+					n.markFlowDirtyLocked(f)
+				}
+				n.mu.Unlock()
+				flushByHand(n)
+			}
+			for i := 0; i < 3; i++ {
+				cycle()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cycle()
+			}
+		})
+	}
+}

@@ -147,6 +147,11 @@ type Net struct {
 	// nextConnSeq stamps connections in creation order, so fault paths
 	// that reset many victims do so in a deterministic order.
 	nextConnSeq int64
+	// nextFlowSeq stamps flows in creation order; the flush sorts dirty
+	// seeds and gathered components by it so allocation order — and with
+	// it floating-point rounding — is a function of the event history
+	// alone, not of the goroutine interleaving that marked the dirt.
+	nextFlowSeq uint64
 
 	// Incremental allocation state (see alloc.go): dirty seeds for the
 	// next flush, the pending-flush latch, and the BFS visit epoch.
@@ -158,45 +163,31 @@ type Net struct {
 	allocPasses  uint64 // diagnostic: component allocation passes run
 	allocFlows   uint64 // diagnostic: flows visited across those passes
 
-	// allocator scratch, reused across recomputations
-	scrResidual []float64
-	scrWsum     []float64
-	scrTouched  []int
-	scrFlows    []*flow
-	scrComp     []*flow
-	scrRates    []float64
-	scrFrozen   []bool
-	// CSR flattening of the pass's flow->resource lists, the inverse
-	// resource->flow lists, and the per-resource water-filling state
-	// (exhaust level, last-update level, unfrozen-flow count) — see
-	// allocate.
-	scrRefStart []int32
-	scrRefID    []int32
-	scrRefW     []float64
-	scrUnfrozen []int32
-	scrResCnt   []int32
-	scrExhaust  []float64
-	scrLastLv   []float64
-	scrInvStart []int32
-	scrInvCur   []int32
-	scrInvFlow  []int32
-	scrLive     []int
-	scrCaps     []float64
-	scrCapHeap  []int32
+	// Allocator working state. scr is the sequential scratch (flush,
+	// verification, estimation and the reference recompute all share
+	// it); scrFlows/scrComp are the gather-side buffers the BFS and
+	// active-flow snapshots reuse. csrGen is the membership generation
+	// every scratch's CSR cache keys on — bumped by any attach, detach
+	// or edge change, it invalidates all cached flattens at once.
+	scr      allocScratch
+	scrFlows []*flow
+	scrComp  []*flow
+	csrGen   uint64
 
-	// CSR cache: a component that re-allocates on every window-growth tick
-	// (the steady state of a long transfer) has an unchanged flow list and
-	// unchanged flow->resource edges from one flush to the next, so the
-	// flatten pass can be skipped and only the per-flow caps and
-	// per-resource residuals refreshed. csrGen invalidates the cache on
-	// any membership or edge change (attach, detach, disk rebinding).
-	csrFlows      []*flow
-	csrTouchedRes []*res
-	csrGen        uint64
-	csrGenAt      uint64
-	csrValid      bool
-	csrHits       uint64 // multi-flow passes served from the CSR cache
-	csrLookups    uint64 // multi-flow passes that consulted the cache
+	// Parallel flush state (parflush.go): flat gathered-component
+	// buffers, per-worker-lane scratches, the structural-change latch
+	// that forces the conservative (sequential) merge path, and the
+	// flush-mode counters ParStats reports.
+	parComps    []int32
+	parFlows    []*flow
+	parRates    []float64
+	parScr      []*allocScratch
+	parNow      time.Duration
+	parRun      parRunner
+	parUnsafe   bool
+	parFlushes  uint64
+	consFlushes uint64
+	seqFlushes  uint64
 
 	// flushFn is the cached zero-delay flush callback, so arming a flush
 	// does not allocate a closure per event burst.
@@ -293,6 +284,7 @@ func New(clk *vtime.Sim) *Net {
 		dnsUp:     true,
 		nextPort:  40000,
 	}
+	n.parRun.n = n
 	n.flushFn = func() {
 		n.mu.Lock()
 		n.flushPending = false
@@ -340,7 +332,12 @@ func (n *Net) AttachFlight(rec *flight.Recorder) {
 func (n *Net) CSRStats() (hits, lookups uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.csrHits, n.csrLookups
+	hits, lookups = n.scr.csrHits, n.scr.csrLookups
+	for _, sc := range n.parScr {
+		hits += sc.csrHits
+		lookups += sc.csrLookups
+	}
+	return hits, lookups
 }
 
 // AddNode registers a router/switch node with the given name.
@@ -647,414 +644,23 @@ func (n *Net) activeFlowsLocked() []*flow {
 			fs = append(fs, f)
 		}
 	}
+	// Map iteration order is random; restore creation order so the
+	// reference allocator's rounding is reproducible too.
+	sortFlowsBySeq(fs)
 	n.scrFlows = fs
 	return fs
 }
 
-// allocate computes the weighted max-min fair rate (bits/s) for each flow
-// by progressive filling, honouring per-flow window caps, link capacities,
-// and host CPU/disk budgets. It does not mutate the flows; rates[i]
-// corresponds to fs[i]. The returned slice is scratch owned by the Net
-// and is only valid until the next allocate call.
-//
-// The filling is phrased in water levels rather than per-round deltas:
-// every unfrozen flow's rate equals the global level T, each resource
-// carries the level at which it would exhaust under current demand, and
-// flow caps are a min-heap of freeze levels. A round picks the lowest
-// freeze level, advances T to it, and freezes exactly the flows bound
-// there; only a freeze touches a resource's state (one divide per
-// flow-resource edge for the whole pass, instead of one per resource per
-// round), so a pass is O(rounds * live-resources) compares plus O(edges)
-// updates. Since every live resource has at least one unfrozen flow,
-// every round freezes at least one flow and the loop terminates in at
-// most len(fs) rounds — no floating-point residue can stall it.
+// allocate computes the weighted max-min fair rate (bits/s) for each
+// flow in fs. The progressive-filling kernel and all of its scratch live
+// on allocScratch (allocscratch.go); this wrapper runs it on the Net's
+// own sequential scratch, which every serial path (flush, verification,
+// bandwidth estimation, the reference recompute) shares. Parallel
+// flushes use per-worker-lane scratches instead (parflush.go). The
+// returned slice is scratch and only valid until the next allocate call.
 func (n *Net) allocate(fs []*flow) []float64 {
-	if cap(n.scrRates) < len(fs) {
-		n.scrRates = make([]float64, len(fs))
-		n.scrFrozen = make([]bool, len(fs))
-		n.scrCaps = make([]float64, len(fs))
-	}
-	rates := n.scrRates[:len(fs)]
-	frozen := n.scrFrozen[:len(fs)]
-	caps := n.scrCaps[:len(fs)]
-	for i := range rates {
-		rates[i] = 0
-		frozen[i] = false
-	}
-	if len(fs) == 0 {
-		return rates
-	}
-	if len(n.scrResidual) < n.nextResID {
-		n.scrResidual = make([]float64, n.nextResID)
-		n.scrWsum = make([]float64, n.nextResID)
-		n.scrResCnt = make([]int32, n.nextResID)
-		n.scrExhaust = make([]float64, n.nextResID)
-		n.scrLastLv = make([]float64, n.nextResID)
-		n.scrInvStart = make([]int32, n.nextResID)
-		n.scrInvCur = make([]int32, n.nextResID)
-	}
-	residual := n.scrResidual
-	wsum := n.scrWsum
-	rescnt := n.scrResCnt
-	exhaust := n.scrExhaust
-	lastLv := n.scrLastLv
-	invStart := n.scrInvStart
-	invCur := n.scrInvCur
-	touched := n.scrTouched[:0]
-
-	// A steady-state component re-allocates on every window-growth tick
-	// with the same flows in the same order and the same flow->resource
-	// edges; only window caps and resource capacities move. If the cached
-	// CSR still matches, skip the flatten and refresh just those.
-	hit := n.csrValid && n.csrGenAt == n.csrGen && len(n.csrFlows) == len(fs)
-	if hit {
-		for i, f := range fs {
-			if n.csrFlows[i] != f {
-				hit = false
-				break
-			}
-		}
-	}
-	n.csrLookups++
-	if hit {
-		n.csrHits++
-	}
-	refStart := n.scrRefStart
-	refID := n.scrRefID
-	refW := n.scrRefW
-	unfrozen := n.scrUnfrozen[:0]
-	if hit {
-		touched = n.scrTouched[:len(n.csrTouchedRes)]
-		for j, r := range n.csrTouchedRes {
-			residual[touched[j]] = r.effective()
-		}
-		for i, f := range fs {
-			caps[i] = f.windowCap
-			unfrozen = append(unfrozen, int32(i))
-		}
-	} else {
-		// Flatten the pass's flow->resource lists into CSR scratch
-		// (refStart / refID / refW) and collect the unfrozen worklist, so
-		// every round below is pure dense-array arithmetic with no pointer
-		// chasing.
-		refStart = refStart[:0]
-		refID = refID[:0]
-		refW = refW[:0]
-		touchedRes := n.csrTouchedRes[:0]
-		for i, f := range fs {
-			refStart = append(refStart, int32(len(refID)))
-			caps[i] = f.windowCap
-			refs := f.refs()
-			if len(refs) == 0 && math.IsInf(f.windowCap, 1) {
-				// Loopback with no constraining resource: effectively instant.
-				rates[i] = loopbackBps
-				frozen[i] = true
-				continue
-			}
-			unfrozen = append(unfrozen, int32(i))
-			for _, rr := range refs {
-				id := rr.r.id
-				if wsum[id] >= 0 { // wsum doubles as the "seen this pass" mark
-					wsum[id] = -1
-					residual[id] = rr.r.effective()
-					touched = append(touched, id)
-					touchedRes = append(touchedRes, rr.r)
-				}
-				refID = append(refID, int32(id))
-				refW = append(refW, rr.w)
-			}
-		}
-		refStart = append(refStart, int32(len(refID)))
-		n.scrTouched = touched
-		n.scrRefStart = refStart
-		n.scrRefID = refID
-		n.scrRefW = refW
-		n.csrTouchedRes = touchedRes
-		// Cache only all-unfrozen passes: a hit can then rebuild the
-		// worklist as the identity without tracking loopback freezes.
-		n.csrValid = len(unfrozen) == len(fs)
-		if n.csrValid {
-			n.csrFlows = append(n.csrFlows[:0], fs...)
-			n.csrGenAt = n.csrGen
-		}
-	}
-
-	// Weighted demand on each touched resource, computed once; a freezing
-	// flow withdraws its weights instead of any round recomputing them.
-	for _, id := range touched {
-		wsum[id] = 0
-		rescnt[id] = 0
-	}
-	for _, fi := range unfrozen {
-		for k := refStart[fi]; k < refStart[fi+1]; k++ {
-			wsum[refID[k]] += refW[k]
-			rescnt[refID[k]]++
-		}
-	}
-
-	// Fast path: when every flow can take its full window cap without
-	// exhausting any resource, the allocation is simply the caps, and the
-	// water-filling rounds below are skipped. This is the common case in
-	// the paper's window-limited regime — underfilled WAN pipes are the
-	// entire motivation for parallel and striped transfers — where every
-	// pass ends with all flows frozen at their caps anyway. One
-	// accumulation over the edges decides (exhaust doubles as the cap-load
-	// scratch; it is rebuilt below when the check fails).
-	feasible := true
-	for _, id := range touched {
-		exhaust[id] = 0
-	}
-	for _, fi := range unfrozen {
-		c := caps[fi]
-		if math.IsInf(c, 1) {
-			feasible = false
-			break
-		}
-		for k := refStart[fi]; k < refStart[fi+1]; k++ {
-			exhaust[refID[k]] += refW[k] * c
-		}
-	}
-	if feasible {
-		for _, id := range touched {
-			if exhaust[id] > residual[id] {
-				feasible = false
-				break
-			}
-		}
-	}
-	if feasible {
-		for _, fi := range unfrozen {
-			rates[fi] = caps[fi]
-		}
-		for _, id := range touched {
-			wsum[id] = 0
-		}
-		n.scrUnfrozen = unfrozen[:0]
-		return rates
-	}
-
-	// Per-resource water levels: exhaust is the fill level at which the
-	// resource runs out under its current weighted demand; lastLv is the
-	// level at which residual/wsum were last brought up to date. resLB
-	// tracks the exact minimum exhaust level as of the last full scan;
-	// freezes only ever raise exhaust levels, so between scans it stays a
-	// valid lower bound — and any cap at or below it can freeze its flow
-	// with no scan at all.
-	live := n.scrLive[:0]
-	resLB := math.Inf(1)
-	for _, id := range touched {
-		if rescnt[id] > 0 {
-			exhaust[id] = residual[id] / wsum[id]
-			lastLv[id] = 0
-			live = append(live, id)
-			if exhaust[id] < resLB {
-				resLB = exhaust[id]
-			}
-		}
-	}
-
-	// Inverse lists (resource -> unfrozen flows) let a resource exhausting
-	// at level T freeze exactly its own flows without scanning the whole
-	// worklist. Window-limited passes never freeze by resource, so the
-	// build is deferred until the first one does.
-	var invFlow []int32
-	invBuilt := false
-	buildInv := func() {
-		if cap(n.scrInvFlow) < len(refID) {
-			n.scrInvFlow = make([]int32, len(refID))
-		}
-		invFlow = n.scrInvFlow[:len(refID)]
-		var off int32
-		for _, id := range touched {
-			invCur[id] = off
-			off += rescnt[id]
-		}
-		for _, fi := range unfrozen {
-			if frozen[fi] {
-				continue
-			}
-			for k := refStart[fi]; k < refStart[fi+1]; k++ {
-				id := refID[k]
-				invFlow[invCur[id]] = fi
-				invCur[id]++
-			}
-		}
-		// Each cursor now sits one past its list; recover the starts while
-		// rescnt still holds the counts the fill used. Later freezes mark
-		// flows frozen rather than editing the lists, so consumers skip
-		// frozen entries.
-		for _, id := range touched {
-			invStart[id] = invCur[id] - rescnt[id]
-		}
-		invBuilt = true
-	}
-
-	// Min-heap of window-cap freeze levels (lazy deletion: entries for
-	// already resource-frozen flows are discarded at peek time).
-	capHeap := n.scrCapHeap[:0]
-	for _, fi := range unfrozen {
-		capHeap = append(capHeap, fi)
-		for c := len(capHeap) - 1; c > 0; {
-			p := (c - 1) / 2
-			if caps[capHeap[p]] <= caps[capHeap[c]] {
-				break
-			}
-			capHeap[p], capHeap[c] = capHeap[c], capHeap[p]
-			c = p
-		}
-	}
-	n.scrCapHeap = capHeap
-
-	// freeze pins one flow at rate r and withdraws its weighted demand.
-	// Touched resources get their residual brought up to level T and are
-	// marked stale (exhaust -1); the divide to refresh the exhaust level
-	// is deferred to the next scan that actually looks at it.
-	nUnfrozen := len(unfrozen)
-	var T float64
-	freeze := func(fi int32, r float64) {
-		rates[fi] = r
-		frozen[fi] = true
-		nUnfrozen--
-		for k := refStart[fi]; k < refStart[fi+1]; k++ {
-			id := refID[k]
-			if lastLv[id] < T {
-				residual[id] -= (T - lastLv[id]) * wsum[id]
-				if residual[id] < 0 {
-					residual[id] = 0
-				}
-				lastLv[id] = T
-			}
-			wsum[id] -= refW[k]
-			if rescnt[id]--; rescnt[id] == 0 {
-				// No unfrozen flow left: exactly spent, whatever float
-				// residue the withdrawals left behind.
-				wsum[id] = 0
-			} else {
-				exhaust[id] = -1
-			}
-		}
-	}
-
-	for nUnfrozen > 0 {
-		// Lowest unfrozen window cap (lazy deletion of frozen entries).
-		for len(capHeap) > 0 && frozen[capHeap[0]] {
-			capHeap = capHeapPop(capHeap, caps)
-		}
-		capTop := math.Inf(1)
-		if len(capHeap) > 0 {
-			capTop = caps[capHeap[0]]
-		}
-		level := capTop
-		minRes := -1
-		if capTop > resLB {
-			// The cap might not be the binding constraint: rescan for the
-			// exact minimum exhaust level, refreshing stale entries (one
-			// divide each) and swap-removing dead resources.
-			resLevel := math.Inf(1)
-			for u := 0; u < len(live); {
-				id := live[u]
-				if rescnt[id] == 0 {
-					live[u] = live[len(live)-1]
-					live = live[:len(live)-1]
-					continue
-				}
-				e := exhaust[id]
-				if e < 0 {
-					e = lastLv[id] + residual[id]/wsum[id]
-					exhaust[id] = e
-				}
-				if e < resLevel {
-					resLevel, minRes = e, id
-				}
-				u++
-			}
-			resLB = resLevel
-			if resLevel <= capTop {
-				// Resources win ties so equal-level constraints resolve
-				// in deterministic order.
-				level = resLevel
-			} else {
-				minRes = -1
-			}
-		}
-		if math.IsInf(level, 1) {
-			// Nothing constrains the remaining flows (zero-RTT paths over
-			// unlimited resources): effectively instant.
-			for _, fi := range unfrozen {
-				if !frozen[fi] {
-					rates[fi] = loopbackBps
-					frozen[fi] = true
-				}
-			}
-			nUnfrozen = 0
-			break
-		}
-		T = level
-		if minRes < 0 {
-			fi := capHeap[0]
-			capHeap = capHeapPop(capHeap, caps)
-			freeze(fi, caps[fi])
-		} else {
-			// The resource exhausts exactly at T: every flow still on it
-			// freezes here, at its fair share. Symmetric topologies tend to
-			// exhaust many resources at exactly the same level, so sweep
-			// them all in this round (in live order, the order successive
-			// rescans would visit them) instead of paying a rescan per tied
-			// resource. A tied resource touched by an earlier freeze in the
-			// sweep goes stale (exhaust -1) and is left for the next round,
-			// where the rescan recomputes its true level.
-			if !invBuilt {
-				buildInv()
-			}
-			for _, id := range live {
-				if rescnt[id] == 0 || exhaust[id] != T {
-					continue
-				}
-				for k := invStart[id]; k < invCur[id]; k++ {
-					if fi := invFlow[k]; !frozen[fi] {
-						freeze(fi, T)
-					}
-				}
-			}
-		}
-	}
-	n.scrCapHeap = capHeap[:0]
-	n.scrLive = live[:0]
-	// The incremental withdrawals can leave float residue of either sign;
-	// the next pass's seen-marks need wsum non-negative.
-	for _, id := range touched {
-		wsum[id] = 0
-	}
-	n.scrUnfrozen = unfrozen[:0]
-	return rates
+	return n.scr.alloc(fs, n.nextResID, n.csrGen)
 }
-
-// capHeapPop removes the root of the window-cap min-heap.
-func capHeapPop(h []int32, caps []float64) []int32 {
-	last := len(h) - 1
-	h[0] = h[last]
-	h = h[:last]
-	c := 0
-	for {
-		l, r := 2*c+1, 2*c+2
-		s := c
-		if l < len(h) && caps[h[l]] < caps[h[s]] {
-			s = l
-		}
-		if r < len(h) && caps[h[r]] < caps[h[s]] {
-			s = r
-		}
-		if s == c {
-			break
-		}
-		h[c], h[s] = h[s], h[c]
-		c = s
-	}
-	return h
-}
-
-// loopbackBps is the stand-in rate for unconstrained (same-host) traffic.
-const loopbackBps = 40e9
 
 // recomputeLocked is the reference full recomputation: it folds elapsed
 // time into every flow's counters at the current instant, re-runs the
@@ -1099,6 +705,8 @@ func (n *Net) TotalBytesBetween(a, b string) float64 {
 // registerFlowLocked enters a newly created flow into the live-flow set
 // and the (src,dst) pair index that TotalBytesBetween polls.
 func (n *Net) registerFlowLocked(f *flow) {
+	n.nextFlowSeq++
+	f.seq = n.nextFlowSeq
 	n.flows[f] = struct{}{}
 	if f.src != nil && f.dst != nil {
 		k := pairKey{f.src.name, f.dst.name}

@@ -1,0 +1,181 @@
+package vtime
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Deterministic fan-out across a fixed worker pool.
+//
+// The simulator advances time at quiescence on a single goroutine, and
+// everything observable — event sequence numbers, RNG draws, log and
+// flight-record emission order — is defined by what that goroutine does.
+// Parallelism therefore cannot touch any of it. What it can touch is
+// pure computation whose inputs are frozen for the duration of an
+// instant: the network allocator's per-component fold + water-filling
+// passes, which read state no other component shares and write results
+// no one reads until the fan completes.
+//
+// Fan is that primitive. The caller (always the advancing goroutine)
+// partitions its work into tasks 0..n-1; task t runs on lane t mod W,
+// where W is the configured worker count. Lane 0 is the caller itself,
+// lanes 1..W-1 are pool goroutines. Assignment is static — no work
+// stealing — so which lane computes which task is a pure function of
+// the task index, never of OS scheduling. Combined with effect-free
+// task bodies this makes the parallel execution bit-identical to the
+// sequential one: floating-point work happens per task in task-local
+// order, and the caller applies all observable effects after the fan,
+// in canonical task order.
+//
+// The pool synchronizes with sync/atomic publish/collect counters (gen
+// to hand work out, done to collect it), which the race detector and
+// the Go memory model both recognize as happens-before edges: writes
+// made by a task body are visible to the caller once Fan returns.
+// Workers spin briefly between fans (bursts of flushes arrive every
+// simulated RTT) and park on a buffered wake channel when idle, so an
+// idle pool costs nothing and a hot one never syscalls. Fan itself
+// performs no allocation in steady state.
+type workerPool struct {
+	lanes int // total lanes including the caller's lane 0
+	// Per-fan state: written by the caller, published by the gen bump
+	// (release), read by workers after observing it (acquire).
+	run   Runner
+	tasks int
+	gen   atomic.Uint32
+	done  atomic.Int32
+	wake  []chan struct{} // one per pool worker, buffered(1)
+	quit  chan struct{}   // closed by SetWorkers to retire the pool
+	stopc chan struct{}   // owning Sim's stop channel; closed when Run ends
+}
+
+// Runner is a unit of fan-out work. RunTask is invoked once per task
+// index, potentially concurrently from multiple worker lanes; worker
+// identifies the lane (0 = the calling goroutine) so implementations
+// can use per-lane scratch. Task bodies must be effect-free with
+// respect to the simulation: no clock scheduling, no RNG, no channel
+// or log traffic — confine writes to task-local state and apply
+// observable effects after Fan returns, in canonical task order.
+type Runner interface {
+	RunTask(task, worker int)
+}
+
+const (
+	fanSpin  = 2048 // gen polls before an idle worker parks
+	fanYield = 128  // polls between Gosched calls while spinning
+)
+
+func newWorkerPool(lanes int, stopc chan struct{}) *workerPool {
+	p := &workerPool{
+		lanes: lanes,
+		wake:  make([]chan struct{}, lanes-1),
+		quit:  make(chan struct{}),
+		stopc: stopc,
+	}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.worker(i + 1)
+	}
+	return p
+}
+
+func (p *workerPool) worker(lane int) {
+	var seen uint32
+	for {
+		if g := p.gen.Load(); g != seen {
+			seen = g
+			for t := lane; t < p.tasks; t += p.lanes {
+				p.run.RunTask(t, lane)
+			}
+			p.done.Add(1)
+			continue
+		}
+		fresh := false
+		for i := 0; i < fanSpin; i++ {
+			if p.gen.Load() != seen {
+				fresh = true
+				break
+			}
+			if i%fanYield == fanYield-1 {
+				runtime.Gosched()
+			}
+		}
+		if fresh {
+			continue
+		}
+		// A stale token left in wake (sent while we were spinning) costs
+		// one spurious loop, never a missed fan: the token's presence
+		// guarantees another gen check.
+		select {
+		case <-p.wake[lane-1]:
+		case <-p.quit:
+			return
+		case <-p.stopc:
+			return
+		}
+	}
+}
+
+// SetWorkers configures the parallel lane count. n <= 1 selects
+// sequential execution (the default and the reference mode); n > 1
+// starts n-1 pool goroutines that serve Fan calls until reconfigured
+// or until the simulation stops. Call it during setup, before Run —
+// reconfiguring while a Fan is in flight is not supported.
+func (s *Sim) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if p := s.pool; p != nil {
+		if p.lanes == n {
+			return
+		}
+		close(p.quit)
+		s.pool = nil
+	}
+	if n > 1 {
+		s.pool = newWorkerPool(n, s.stopc)
+	}
+	s.nWorkers.Store(int32(n))
+}
+
+// Workers reports the configured lane count; 1 means sequential.
+// Lock-free, so hot paths can consult it while deciding whether to fan.
+func (s *Sim) Workers() int {
+	if w := s.nWorkers.Load(); w > 1 {
+		return int(w)
+	}
+	return 1
+}
+
+// Fan runs tasks 0..tasks-1 on the worker pool and returns when all of
+// them have completed. Task t runs on lane t mod W; the caller is lane
+// 0. With no pool (sequential mode) or a single task it degenerates to
+// an in-order loop on the calling goroutine, which is also the
+// reference semantics the parallel path must reproduce. Writes made by
+// task bodies are visible to the caller on return.
+func (s *Sim) Fan(tasks int, r Runner) {
+	p := s.pool
+	if p == nil || tasks <= 1 {
+		for t := 0; t < tasks; t++ {
+			r.RunTask(t, 0)
+		}
+		return
+	}
+	p.run = r
+	p.tasks = tasks
+	p.done.Store(0)
+	p.gen.Add(1)
+	for _, c := range p.wake {
+		select {
+		case c <- struct{}{}:
+		default: // worker is spinning or already has a token
+		}
+	}
+	for t := 0; t < tasks; t += p.lanes {
+		r.RunTask(t, 0)
+	}
+	for i := 0; p.done.Load() != int32(p.lanes-1); i++ {
+		if i%fanYield == fanYield-1 {
+			runtime.Gosched()
+		}
+	}
+}

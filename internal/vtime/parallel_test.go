@@ -1,0 +1,201 @@
+package vtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fanProbe records, per task, which lane ran it and an execution stamp,
+// plus a per-lane call count — enough to check coverage, assignment and
+// visibility without any synchronization of its own (the Fan barrier is
+// what the tests exercise).
+type fanProbe struct {
+	lane  []int32 // lane that ran task t; -1 = never ran
+	runs  []int32 // times task t ran
+	calls [16]atomic.Int64
+	sum   []int64 // task-local output, summed by the caller after Fan
+}
+
+func newFanProbe(tasks int) *fanProbe {
+	p := &fanProbe{
+		lane: make([]int32, tasks),
+		runs: make([]int32, tasks),
+		sum:  make([]int64, tasks),
+	}
+	for i := range p.lane {
+		p.lane[i] = -1
+	}
+	return p
+}
+
+func (p *fanProbe) RunTask(task, worker int) {
+	p.lane[task] = int32(worker)
+	p.runs[task]++
+	p.calls[worker].Add(1)
+	p.sum[task] = int64(task) * 3
+}
+
+func (p *fanProbe) reset() {
+	for i := range p.lane {
+		p.lane[i] = -1
+		p.runs[i] = 0
+		p.sum[i] = 0
+	}
+}
+
+// TestFanSequentialFallback: with no pool configured, Fan must run every
+// task in order on lane 0 — that is the reference semantics.
+func TestFanSequentialFallback(t *testing.T) {
+	s := NewSim(1)
+	const tasks = 17
+	p := newFanProbe(tasks)
+	s.Fan(tasks, p)
+	for i := 0; i < tasks; i++ {
+		if p.runs[i] != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, p.runs[i])
+		}
+		if p.lane[i] != 0 {
+			t.Fatalf("task %d ran on lane %d, want 0 (sequential)", i, p.lane[i])
+		}
+	}
+	if s.Workers() != 1 {
+		t.Fatalf("Workers() = %d before SetWorkers, want 1", s.Workers())
+	}
+}
+
+// TestFanStaticAssignment: task t must run on lane t mod W, exactly
+// once, regardless of scheduling — static assignment is what makes the
+// parallel execution reproducible.
+func TestFanStaticAssignment(t *testing.T) {
+	s := NewSim(1)
+	const lanes = 4
+	s.SetWorkers(lanes)
+	defer s.SetWorkers(1)
+	if s.Workers() != lanes {
+		t.Fatalf("Workers() = %d, want %d", s.Workers(), lanes)
+	}
+	const tasks = 41
+	p := newFanProbe(tasks)
+	for round := 0; round < 100; round++ {
+		p.reset()
+		s.Fan(tasks, p)
+		for i := 0; i < tasks; i++ {
+			if p.runs[i] != 1 {
+				t.Fatalf("round %d: task %d ran %d times, want 1", round, i, p.runs[i])
+			}
+			if want := int32(i % lanes); p.lane[i] != want {
+				t.Fatalf("round %d: task %d ran on lane %d, want %d", round, i, p.lane[i], want)
+			}
+		}
+	}
+}
+
+// TestFanBarrierVisibility: writes made by pool lanes must be visible to
+// the caller once Fan returns. Summing after the fan (with no locks)
+// fails under -race if the barrier's happens-before edge is missing.
+func TestFanBarrierVisibility(t *testing.T) {
+	s := NewSim(1)
+	s.SetWorkers(8)
+	defer s.SetWorkers(1)
+	const tasks = 64
+	p := newFanProbe(tasks)
+	var want int64
+	for i := 0; i < tasks; i++ {
+		want += int64(i) * 3
+	}
+	for round := 0; round < 200; round++ {
+		p.reset()
+		s.Fan(tasks, p)
+		var got int64
+		for _, v := range p.sum {
+			got += v
+		}
+		if got != want {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, want)
+		}
+	}
+}
+
+// TestFanFewerTasksThanLanes: lanes beyond the task count must idle
+// cleanly and the barrier still complete.
+func TestFanFewerTasksThanLanes(t *testing.T) {
+	s := NewSim(1)
+	s.SetWorkers(8)
+	defer s.SetWorkers(1)
+	p := newFanProbe(3)
+	s.Fan(3, p)
+	for i := 0; i < 3; i++ {
+		if p.runs[i] != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, p.runs[i])
+		}
+	}
+	// A single task degenerates to the inline path even with a pool.
+	p2 := newFanProbe(1)
+	s.Fan(1, p2)
+	if p2.lane[0] != 0 {
+		t.Fatalf("single task ran on lane %d, want 0", p2.lane[0])
+	}
+}
+
+// TestSetWorkersReconfigure: growing, shrinking and disabling the pool
+// must each leave Fan fully functional.
+func TestSetWorkersReconfigure(t *testing.T) {
+	s := NewSim(1)
+	for _, lanes := range []int{4, 2, 6, 1, 3} {
+		s.SetWorkers(lanes)
+		if want := lanes; s.Workers() != want {
+			t.Fatalf("Workers() = %d, want %d", s.Workers(), want)
+		}
+		const tasks = 13
+		p := newFanProbe(tasks)
+		s.Fan(tasks, p)
+		for i := 0; i < tasks; i++ {
+			if p.runs[i] != 1 {
+				t.Fatalf("lanes=%d: task %d ran %d times, want 1", lanes, i, p.runs[i])
+			}
+			if want := int32(0); lanes > 1 {
+				want = int32(i % lanes)
+				if p.lane[i] != want {
+					t.Fatalf("lanes=%d: task %d on lane %d, want %d", lanes, i, p.lane[i], want)
+				}
+			} else if p.lane[i] != want {
+				t.Fatalf("lanes=%d: task %d on lane %d, want 0", lanes, i, p.lane[i])
+			}
+		}
+	}
+	s.SetWorkers(1)
+	// Idempotent reconfiguration must not leak or wedge.
+	s.SetWorkers(1)
+	s.SetWorkers(0)
+}
+
+// TestFanInsideRun: the intended deployment — fanning from an instant
+// hook while the simulation advances — must interleave correctly with
+// managed-goroutine scheduling.
+func TestFanInsideRun(t *testing.T) {
+	s := NewSim(7)
+	s.SetWorkers(4)
+	const tasks = 16
+	p := newFanProbe(tasks)
+	fans := 0
+	s.SetInstantHook(func() {
+		p.reset()
+		s.Fan(tasks, p)
+		for i := 0; i < tasks; i++ {
+			if p.runs[i] != 1 {
+				t.Errorf("fan %d: task %d ran %d times, want 1", fans, i, p.runs[i])
+			}
+		}
+		fans++
+	})
+	s.Run(func() {
+		for i := 0; i < 50; i++ {
+			s.ArmInstantHook()
+			s.Sleep(time.Millisecond)
+		}
+	})
+	if fans == 0 {
+		t.Fatal("instant hook never ran")
+	}
+}

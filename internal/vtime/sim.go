@@ -70,8 +70,20 @@ type Sim struct {
 	rearmDelay time.Duration
 	stopc      chan struct{}
 	stopped    bool
-	rng        *rand.Rand
-	rngMu      sync.Mutex
+	// unwind counts live managed goroutines so Run can join them before
+	// returning. Without the join, goroutines still unwinding their
+	// stopped-panic after Run (deferred Closes cancelling timers) would
+	// race with — and nondeterministically reorder against — post-run
+	// reads of the flight ring and stats.
+	unwind sync.WaitGroup
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+
+	// pool serves Fan calls when SetWorkers opted into parallel
+	// instant-boundary execution (parallel.go); nWorkers mirrors the
+	// configured lane count for lock-free reads on flush paths.
+	pool     *workerPool
+	nWorkers atomic.Int32
 
 	// Observability (always on; see site.go and internal/flight).
 	// lastFired is the seq of the event most recently delivered at the
@@ -578,8 +590,10 @@ func (s *Sim) Go(fn func()) {
 		return
 	}
 	s.runnable++
+	s.unwind.Add(1)
 	s.mu.Unlock()
 	go func() {
+		defer s.unwind.Done()
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stoppedPanic); ok {
@@ -595,7 +609,9 @@ func (s *Sim) Go(fn func()) {
 
 // Run executes main as a managed goroutine on the caller's stack and
 // returns when main returns. Goroutines still parked at that point are
-// unwound via a recovered panic, so simulations tear down cleanly.
+// unwound via a recovered panic and joined before Run returns, so the
+// simulation's final state — flight rings, stats, logs — is settled and
+// deterministic for whatever the caller reads next.
 func (s *Sim) Run(main func()) {
 	s.mu.Lock()
 	s.runnable++
@@ -608,6 +624,7 @@ func (s *Sim) Run(main func()) {
 		s.runnable--
 		s.mu.Unlock()
 		close(s.stopc)
+		s.unwind.Wait()
 	}()
 	main()
 }
