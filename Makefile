@@ -40,7 +40,7 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchtime=1x ./...
 
-# Machine-readable benchmark snapshot (BENCH_PR8.json at the repo
+# Machine-readable benchmark snapshot (BENCH_PR9.json at the repo
 # root): name -> ns/op, allocs/op. CI archives it per run.
 bench-json:
 	./scripts/bench.sh
@@ -53,8 +53,8 @@ bench-json:
 #   BENCH_DIFF_NS_TOL=5 make bench-diff
 # on a quiet machine: the always-on flight recorder must stay within 5%
 # of the PR6 baseline on BenchmarkTable1/BenchmarkFigure8.
-BENCH_BASE ?= BENCH_PR7.json
-BENCH_NEW ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR8.json
+BENCH_NEW ?= BENCH_PR9.json
 bench-diff:
 	./scripts/bench_diff.sh $(BENCH_BASE) $(BENCH_NEW)
 

@@ -33,6 +33,7 @@ func main() {
 	flag.IntVar(&workers, "workers", 0, "parallel component-executor lanes for table1/figure8/scale/chaos (0 or 1 = sequential; results are byte-identical at any width)")
 	flag.StringVar(&traceFile, "trace", "", "write the lifeline experiment's event stream to this file (.jsonl for JSONL, anything else for ULM)")
 	flag.StringVar(&alertsFile, "alerts", "", "write the monitor experiment's labeled alert stream to this JSONL file")
+	flag.StringVar(&telemetryFile, "telemetry", "", "write the telemetry experiment's grid+alert stream to this JSONL file (replayable with esgmon -grid -replay)")
 	flag.Parse()
 
 	runners := map[string]func(int64, bool) error{
@@ -54,10 +55,11 @@ func main() {
 		"chaos":      runChaos,
 		"monitor":    runMonitor,
 		"provenance": runProvenance,
+		"telemetry":  runTelemetry,
 		"demo":       runDemo,
 	}
 	order := []string{"table1", "figure8", "chancache", "parallel", "buffers", "stripes",
-		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "chaos", "monitor", "provenance", "demo"}
+		"replicasel", "multisite", "hrm", "largefile", "cpu", "nws", "subset", "scale", "lifeline", "chaos", "monitor", "provenance", "telemetry", "demo"}
 
 	var selected []string
 	if *expFlag == "all" {
@@ -389,6 +391,32 @@ func runMonitor(seed int64, full bool) error {
 			return err
 		}
 		fmt.Printf("wrote labeled alert stream to %s\n", alertsFile)
+	}
+	return nil
+}
+
+// telemetryFile receives the S16 grid+alert stream (-telemetry flag),
+// replayable with esgmon -grid -replay.
+var telemetryFile string
+
+func runTelemetry(seed int64, full bool) error {
+	cfg := experiments.TelemetryConfig{Seed: seed}
+	if full {
+		cfg.Cells = [][2]int{{4, 8}, {8, 8}, {16, 8}, {8, 16}, {8, 32}, {8, 64}}
+		cfg.Ticks = 10
+	}
+	header("S16 — hierarchical telemetry: observer cost scales with sites, not hosts (§3.4)",
+		"the SC'00 hour was watched through flat per-host NetLogger streams; the tree folds them")
+	r, err := experiments.RunTelemetry(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Table("measured (WAN = observer traffic above the leaf tier):", r.Rows()))
+	if telemetryFile != "" {
+		if err := os.WriteFile(telemetryFile, []byte(r.ReplayJSONL), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote grid telemetry stream to %s\n", telemetryFile)
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -42,6 +44,22 @@ func skipUnderRace(t *testing.T) {
 	}
 }
 
+// pinGC removes the milder, non-race form of the same perturbation: a
+// concurrent GC cycle preempting a woken cohort mid-broadcast flips the
+// lock re-acquisition order exactly like the race scheduler does, and
+// whether a cycle lands inside that window depends on the heap state
+// earlier tests in the binary left behind. Disabling the collector for
+// the test and collecting at each run boundary makes every run's
+// preemption points a function of the run itself, so the comparison
+// measures the executor, not allocation history. The runs' own heaps
+// are small (the PR 6 overhaul left the short configs at tens of
+// thousands of allocations), so running them uncollected is cheap.
+func pinGC(t *testing.T) {
+	t.Helper()
+	old := debug.SetGCPercent(-1)
+	t.Cleanup(func() { debug.SetGCPercent(old) })
+}
+
 // captureFlushes installs a simnet.FlushObserver that folds the whole
 // per-flush fingerprint stream into one (hash, count) pair, so a run's
 // entire allocation history can be compared in O(1). The returned stop
@@ -74,7 +92,9 @@ func stripVitals(v flight.Vitals) flight.Vitals {
 
 func TestDifferentialTable1(t *testing.T) {
 	skipUnderRace(t)
+	pinGC(t)
 	run := func(w int) (string, []byte, uint64, int) {
+		runtime.GC()
 		stop := captureFlushes()
 		cfg := shortTable1()
 		cfg.Workers = w
@@ -106,7 +126,9 @@ func TestDifferentialTable1(t *testing.T) {
 
 func TestDifferentialFigure8(t *testing.T) {
 	skipUnderRace(t)
+	pinGC(t)
 	run := func(w int) (string, []byte, uint64, int) {
+		runtime.GC()
 		stop := captureFlushes()
 		cfg := DefaultFigure8Config()
 		cfg.Duration = 45 * time.Minute

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTelemetryS16(t *testing.T) {
+	cfg := TelemetryConfig{
+		Seed:  21,
+		Ticks: 4,
+		Cells: [][2]int{{2, 4}, {4, 4}, {4, 8}},
+	}
+	res, err := RunTelemetry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if !c.SketchExact {
+			t.Errorf("%dx%d: root fold is not bit-identical to the flat fold", c.Sites, c.HostsPer)
+		}
+		if c.MaxQErrBuckets < 0 || c.MaxQErrBuckets > 1 {
+			t.Errorf("%dx%d: quantile error %d log-buckets, want <=1", c.Sites, c.HostsPer, c.MaxQErrBuckets)
+		}
+		if c.WANBytes <= 0 || c.LeafBytes <= 0 || c.GoodputBps <= 0 {
+			t.Errorf("%dx%d: empty measurements: %+v", c.Sites, c.HostsPer, c)
+		}
+	}
+
+	// O(sites) observer path: doubling hosts per site barely moves the
+	// WAN bytes (sketches fold, they do not concatenate), while the
+	// intra-site leaf traffic — what a flat stream would ship to the
+	// observer — scales with hosts.
+	small, wide := res.Cells[1], res.Cells[2] // 4x4 vs 4x8
+	if got := float64(wide.WANBytes) / float64(small.WANBytes); got > 1.5 {
+		t.Errorf("WAN bytes grew %.2fx when hosts doubled at fixed sites", got)
+	}
+	if got := float64(wide.LeafBytes) / float64(small.LeafBytes); got < 1.7 {
+		t.Errorf("leaf bytes grew only %.2fx when hosts doubled", got)
+	}
+	// Doubling sites at fixed hosts per site must grow the WAN path.
+	few := res.Cells[0] // 2x4
+	if got := float64(small.WANBytes) / float64(few.WANBytes); got < 1.5 {
+		t.Errorf("WAN bytes grew only %.2fx when sites doubled", got)
+	}
+
+	if !res.FanoutIdentical {
+		t.Error("published streams differ across tree fanouts")
+	}
+	if res.SLOAlerts == 0 {
+		t.Error("degraded scenario fired no SLO alerts")
+	}
+	if !strings.Contains(res.ReplayJSONL, `"kind":"alert"`) ||
+		!strings.Contains(res.ReplayJSONL, `"kind":"grid"`) {
+		t.Error("replay stream missing grid or alert records")
+	}
+	if rows := res.Rows(); len(rows) != len(res.Cells)+2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

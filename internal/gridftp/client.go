@@ -15,12 +15,6 @@ import (
 	"esgrid/internal/vtime"
 )
 
-// controlRTTBuckets are the histogram bounds (seconds) for control-channel
-// command round-trip times.
-var controlRTTBuckets = []float64{
-	0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.1, 0.15, 0.25, 0.5, 1, 2,
-}
-
 // ClientConfig configures a GridFTP client connection.
 type ClientConfig struct {
 	// Clock schedules reader goroutines; required.
@@ -73,7 +67,7 @@ type Client struct {
 	ct      *ctrl
 	peer    *gsi.Peer
 	session *netlogger.Span // control-stage span covering the session
-	rtts    *netlogger.Histogram
+	rtts    *netlogger.LogHistogram
 
 	mu    sync.Mutex
 	pools map[string][]transport.Conn // data conns per node address
@@ -103,7 +97,7 @@ func Dial(cfg ClientConfig, addr string) (*Client, error) {
 	labelConn(conn, session)
 	c := &Client{
 		cfg: cfg, addr: addr, ct: newCtrl(conn), session: session,
-		rtts:  cfg.Metrics.Histogram("gridftp.control.rtts", controlRTTBuckets),
+		rtts:  cfg.Metrics.LogHist("gridftp.control.rtts"),
 		pools: map[string][]transport.Conn{},
 	}
 	r, err := c.ct.readResponse()

@@ -80,7 +80,7 @@ func TestTridPropagation(t *testing.T) {
 
 		// Control RTTs were observed (greeting is pre-session; FEAT, TRID,
 		// SIZE-free get path still exchanges several commands).
-		if metrics.Histogram("gridftp.control.rtts", nil).Count() == 0 {
+		if metrics.LogHist("gridftp.control.rtts").Count() == 0 {
 			t.Error("no control RTTs recorded")
 		}
 

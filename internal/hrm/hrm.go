@@ -25,9 +25,6 @@ import (
 // the virtual clock (flight-recorder attribution).
 var siteStageWait = vtime.RegisterSite("hrm.stage-wait")
 
-// stageWaitBuckets are the histogram bounds (seconds) for hrm.stage.wait:
-// cache hits are ~0; misses cost seek + stream and possibly a mount.
-var stageWaitBuckets = []float64{0.5, 1, 2, 5, 10, 20, 30, 60, 120, 300, 600}
 
 // Errors returned by the HRM.
 var (
@@ -85,7 +82,7 @@ type HRM struct {
 	// hrm.stage.wait histogram. Nil when uninstrumented.
 	host     string
 	nlog     *netlogger.Log
-	stageHst *netlogger.Histogram
+	stageHst *netlogger.LogHistogram
 
 	mu      sync.Mutex
 	cond    vtime.Cond
@@ -126,7 +123,7 @@ func New(clk vtime.Clock, cfg Config) *HRM {
 func (h *HRM) Instrument(host string, log *netlogger.Log, metrics *netlogger.Registry) {
 	h.host = host
 	h.nlog = log
-	h.stageHst = metrics.Histogram("hrm.stage.wait", stageWaitBuckets)
+	h.stageHst = metrics.LogHist("hrm.stage.wait")
 }
 
 // SetStageDelay injects d of extra tape-machinery latency (a stuck mount

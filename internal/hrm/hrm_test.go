@@ -316,7 +316,7 @@ func TestStageCtxEmitsTracedEvents(t *testing.T) {
 		if ends[0].Fields["wait_ms"] == "" {
 			t.Errorf("end event missing wait_ms: %v", ends[0].Fields)
 		}
-		hst := metrics.Histogram("hrm.stage.wait", nil)
+		hst := metrics.LogHist("hrm.stage.wait")
 		if hst.Count() != 1 {
 			t.Fatalf("stage.wait observations = %d, want 1", hst.Count())
 		}

@@ -37,6 +37,23 @@ func TestMapRangeFlight(t *testing.T) {
 	RunAnalyzer(t, "testdata", "esgrid/internal/flight", MapRange)
 }
 
+func TestTelemetryFixture(t *testing.T) {
+	// internal/telemetry joined the ordered-output packages in PR 9:
+	// grid snapshots and alert streams are equal-seed byte-identical at
+	// any tree fanout, so child folds must never iterate in map order.
+	// The fixture carries wants for all three analyzers the package is
+	// subject to, so they run as one battery.
+	pkg, err := loadTestdata("testdata", "esgrid/internal/telemetry")
+	if err != nil {
+		t.Fatalf("loading testdata package: %v", err)
+	}
+	diags, err := Analyze(pkg, []*Analyzer{MapRange, VTimeClock, EmitKV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWants(t, pkg, diags)
+}
+
 func TestMutexCopy(t *testing.T) {
 	RunAnalyzer(t, "testdata", "mutexcopy", MutexCopy)
 }

@@ -37,6 +37,7 @@ var orderedPathSuffixes = []string{
 	"internal/monitor",
 	"internal/mds",
 	"internal/flight",
+	"internal/telemetry",
 }
 
 func runMapRange(pass *Pass) error {

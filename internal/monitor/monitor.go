@@ -233,18 +233,9 @@ func New(cfg Config) *Monitor {
 }
 
 // nextBoundary returns the first Epoch-aligned tick boundary strictly
-// after t. Aligning to the Epoch grid (rather than to whenever the
-// monitor happened to start) makes tick instants a property of the
-// timeline, not of construction order — a prerequisite for replayed and
-// live runs agreeing sample for sample.
+// after t (see vtime.NextTick — the telemetry plane shares this grid).
 func nextBoundary(t time.Time, tick time.Duration) time.Time {
-	d := t.Sub(vtime.Epoch)
-	steps := d / tick
-	b := vtime.Epoch.Add(steps * tick)
-	for !b.After(t) {
-		b = b.Add(tick)
-	}
-	return b
+	return vtime.NextTick(t, tick)
 }
 
 // Attach subscribes the monitor to log's event stream.
@@ -552,15 +543,40 @@ func (m *Monitor) AlertsSince(i int) []Alert {
 	return append([]Alert(nil), m.alerts[i:]...)
 }
 
-// AlertJSONL renders the alert stream as one JSON object per line —
-// deterministic for equal-seed runs, which S14 asserts byte for byte.
-func (m *Monitor) AlertJSONL() string {
+// EncodeAlerts renders an alert stream as one JSON object per line —
+// deterministic for equal-seed runs, which S14 and S16 assert byte for
+// byte. The telemetry plane's grid-level SLO alerts share this encoding
+// so site and grid tiers diff against the same golden files.
+func EncodeAlerts(alerts []Alert) string {
 	var b strings.Builder
 	enc := json.NewEncoder(&b)
-	for _, a := range m.Alerts() {
+	for _, a := range alerts {
 		_ = enc.Encode(a)
 	}
 	return b.String()
+}
+
+// AlertJSONL renders the alert stream via EncodeAlerts.
+func (m *Monitor) AlertJSONL() string { return EncodeAlerts(m.Alerts()) }
+
+// StageSnapshots exports the monitor's stage-latency digests as
+// mergeable sketches in sorted stage order — the rows a site-level
+// telemetry fold consumes. The fold is exact: merging snapshots sums
+// raw bucket counts, so a site or grid quantile is computed from the
+// union population, not approximated twice.
+func (m *Monitor) StageSnapshots() []netlogger.NamedHist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stages := make([]string, 0, len(m.stages))
+	for st := range m.stages {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	out := make([]netlogger.NamedHist, 0, len(stages))
+	for _, st := range stages {
+		out = append(out, netlogger.NamedHist{Name: st, H: m.stages[st].Snapshot()})
+	}
+	return out
 }
 
 // statusOf derives a host's health status from its recent alert

@@ -34,6 +34,11 @@ type LogHistogram struct {
 	sum    float64
 	min    float64
 	max    float64
+	// Integer-nanosecond mirrors of sum/min/max, kept so Snapshot is
+	// all-integer and tier folds are bit-exact in any merge order.
+	sumNs int64
+	minNs int64
+	maxNs int64
 }
 
 // NewLogHistogram returns an empty histogram.
@@ -61,20 +66,26 @@ func hdrUpperBound(idx int) uint64 {
 	return (m+1)<<e - 1
 }
 
+// clampNs maps a latency in seconds to the histogram's nanosecond
+// domain: negatives clamp to 0, overflows to the 63-bit bucket range.
+func clampNs(v float64) uint64 {
+	ns := v * 1e9
+	if ns < 0 {
+		return 0
+	}
+	if ns >= float64(uint64(1)<<63) {
+		return 1<<63 - 1
+	}
+	return uint64(ns)
+}
+
 // Observe records one latency in seconds (negatives clamp to 0). It
 // performs no allocation and is safe for concurrent use.
 func (h *LogHistogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	ns := v * 1e9
-	if ns < 0 {
-		ns = 0
-	}
-	un := uint64(ns)
-	if ns >= float64(uint64(1)<<63) { // clamp into the 63-bit bucket range
-		un = 1<<63 - 1
-	}
+	un := clampNs(v)
 	h.mu.Lock()
 	h.counts[hdrBucketOf(un)]++
 	if h.n == 0 || v < h.min {
@@ -83,8 +94,15 @@ func (h *LogHistogram) Observe(v float64) {
 	if h.n == 0 || v > h.max {
 		h.max = v
 	}
+	if h.n == 0 || int64(un) < h.minNs {
+		h.minNs = int64(un)
+	}
+	if h.n == 0 || int64(un) > h.maxNs {
+		h.maxNs = int64(un)
+	}
 	h.n++
 	h.sum += v
+	h.sumNs += int64(un)
 	h.mu.Unlock()
 }
 

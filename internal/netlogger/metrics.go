@@ -1,8 +1,9 @@
-// Metrics registry: named counters, gauges, and fixed-bucket histograms
-// sampled in virtual time. Components register instruments lazily by
-// name (gridftp.control.rtts, rm.retries, simnet.flows.active,
+// Metrics registry: named counters, gauges, and log-bucketed latency
+// histograms sampled in virtual time. Components register instruments
+// lazily by name (gridftp.control.rtts, rm.retries, simnet.flows.active,
 // hrm.stage.wait, ...) and the registry renders a deterministic snapshot
-// table for experiment reports.
+// table for experiment reports. All three kinds are mergeable (sketch.go):
+// host, site, and grid tiers report from this one sketch family.
 //
 // Like the tracer, a nil *Registry hands out nil instruments whose
 // methods no-op, so instrumentation never needs guarding.
@@ -25,7 +26,6 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
 	hlogs    map[string]*LogHistogram
 }
 
@@ -35,7 +35,6 @@ func NewRegistry(clk vtime.Clock) *Registry {
 		clk:      clk,
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
 		hlogs:    map[string]*LogHistogram{},
 	}
 }
@@ -84,11 +83,16 @@ func (c *Counter) Value() float64 {
 	return c.v
 }
 
-// Gauge is an instantaneous level that also tracks its high-water mark.
+// Gauge is an instantaneous level that also tracks its extremes and the
+// running sum/count of set levels, so a Summary (min/max/sum/count/last)
+// can fold up the telemetry tree.
 type Gauge struct {
 	mu  sync.Mutex
 	v   float64
+	min float64
 	max float64
+	sum float64
+	n   int64
 }
 
 // Gauge returns (creating if needed) the named gauge.
@@ -112,10 +116,7 @@ func (g *Gauge) Set(v float64) {
 		return
 	}
 	g.mu.Lock()
-	g.v = v
-	if v > g.max {
-		g.max = v
-	}
+	g.observeLocked(v)
 	g.mu.Unlock()
 }
 
@@ -125,11 +126,20 @@ func (g *Gauge) Add(d float64) {
 		return
 	}
 	g.mu.Lock()
-	g.v += d
-	if g.v > g.max {
-		g.max = g.v
-	}
+	g.observeLocked(g.v + d)
 	g.mu.Unlock()
+}
+
+func (g *Gauge) observeLocked(v float64) {
+	g.v = v
+	if g.n == 0 || v < g.min {
+		g.min = v
+	}
+	if v > g.max {
+		g.max = v
+	}
+	g.sum += v
+	g.n++
 }
 
 // Value reads the current level.
@@ -152,112 +162,10 @@ func (g *Gauge) Max() float64 {
 	return g.max
 }
 
-// Histogram counts observations into fixed buckets with the given upper
-// bounds (ascending); values above the last bound land in an overflow
-// bucket.
-type Histogram struct {
-	bounds []float64
-
-	mu     sync.Mutex
-	counts []int64 // len(bounds)+1, last is overflow
-	n      int64
-	sum    float64
-	min    float64
-	max    float64
-}
-
-// Histogram returns (creating if needed) the named histogram. The bucket
-// bounds are fixed by the first caller; later callers share the existing
-// instrument regardless of the bounds they pass.
-func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
-	if r == nil {
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
-	if h == nil {
-		h = &Histogram{
-			bounds: append([]float64(nil), bounds...),
-			counts: make([]int64, len(bounds)+1),
-		}
-		r.hists[name] = h
-	}
-	return h
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
-	h.mu.Lock()
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	if h.n == 0 || v < h.min {
-		h.min = v
-	}
-	if h.n == 0 || v > h.max {
-		h.max = v
-	}
-	h.n++
-	h.sum += v
-	h.mu.Unlock()
-}
-
-// Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
-}
-
-// Mean returns the mean observation (0 when empty).
-func (h *Histogram) Mean() float64 {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
-	}
-	return h.sum / float64(h.n)
-}
-
-// Quantile returns the upper bound of the bucket containing the q-th
-// quantile observation (q in [0,1]); values in the overflow bucket
-// report the observed max.
-func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.n == 0 {
-		return 0
-	}
-	rank := int64(q * float64(h.n-1))
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			return h.max
-		}
-	}
-	return h.max
-}
-
 // MetricSnapshot is one row of a registry snapshot.
 type MetricSnapshot struct {
 	Name  string
-	Kind  string // "counter", "gauge", "histogram"
+	Kind  string // "counter", "gauge", "loghist"
 	Value string // rendered value
 }
 
@@ -277,16 +185,6 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	for name, g := range r.gauges {
 		rows = append(rows, MetricSnapshot{name, "gauge",
 			fmt.Sprintf("%g (max %g)", g.Value(), g.Max())})
-	}
-	//esglint:unordered rows are sorted by name below before return
-	for name, h := range r.hists {
-		rows = append(rows, MetricSnapshot{name, "histogram",
-			fmt.Sprintf("n=%d mean=%.6g p50<=%.6g p99<=%.6g max=%.6g",
-				h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.99), func() float64 {
-					h.mu.Lock()
-					defer h.mu.Unlock()
-					return h.max
-				}())})
 	}
 	//esglint:unordered rows are sorted by name below before return
 	for name, h := range r.hlogs {

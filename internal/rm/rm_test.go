@@ -579,7 +579,7 @@ func TestRequestTracing(t *testing.T) {
 			t.Errorf("coverage %.4f, want >= 0.99\n%s", a.Coverage, a.RenderStageTable())
 		}
 		// Control RTTs were measured on the way.
-		if metrics.Histogram("gridftp.control.rtts", nil).Count() == 0 {
+		if metrics.LogHist("gridftp.control.rtts").Count() == 0 {
 			t.Error("no control RTTs observed")
 		}
 	})

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+
+	"esgrid/internal/esgrpc"
+	"esgrid/internal/gsi"
+	"esgrid/internal/monitor"
+)
+
+// AlertsReply carries the grid alert stream over RPC.
+type AlertsReply struct {
+	Alerts []monitor.Alert `json:"alerts"`
+}
+
+// TrafficReply carries the per-tier observer cost over RPC.
+type TrafficReply struct {
+	Tiers []TierTraffic `json:"tiers"`
+}
+
+// RegisterRPC exposes the plane's grid view on an RPC server:
+// tel.grid (latest GridSnapshot), tel.alerts, tel.traffic. esgmon
+// -grid polls these against a live root.
+func (p *Plane) RegisterRPC(srv *esgrpc.Server) {
+	srv.Handle("tel.grid", func(_ *gsi.Peer, _ json.RawMessage) (any, error) {
+		g, ok := p.Latest()
+		if !ok {
+			return nil, errors.New("telemetry: no grid snapshot yet")
+		}
+		return g, nil
+	})
+	srv.Handle("tel.alerts", func(_ *gsi.Peer, _ json.RawMessage) (any, error) {
+		return AlertsReply{Alerts: p.Alerts()}, nil
+	})
+	srv.Handle("tel.traffic", func(_ *gsi.Peer, _ json.RawMessage) (any, error) {
+		return TrafficReply{Tiers: p.Traffic()}, nil
+	})
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"esgrid/internal/esgrpc"
+	"esgrid/internal/monitor"
+	"esgrid/internal/netlogger"
+	"esgrid/internal/simnet"
+	"esgrid/internal/vtime"
+)
+
+// TestRPCRoundTrip drives the tel.* endpoints over a real simulated
+// connection: the root serves, a client host polls, exactly what esgmon
+// -grid -addr does against a live plane.
+func TestRPCRoundTrip(t *testing.T) {
+	clk := vtime.NewSim(13)
+	n := simnet.New(clk)
+	p, err := New(Config{Clock: clk, Ticks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := n.AddHost("obs", simnet.HostConfig{})
+	n.AddLink("obs", "core", simnet.LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond})
+	agg := n.AddHost("ag", simnet.HostConfig{})
+	n.AddLink("ag", "core", simnet.LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond})
+	leaf := n.AddHost("h0", simnet.HostConfig{})
+	n.AddLink("h0", "core", simnet.LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond})
+	console := n.AddHost("console", simnet.HostConfig{})
+	n.AddLink("console", "core", simnet.LinkConfig{CapacityBps: 1e9, Delay: time.Millisecond})
+	p.SetRoot(root)
+	if err := p.AddSite("s", agg); err != nil {
+		t.Fatal(err)
+	}
+	var reg *netlogger.Registry
+	if reg, err = p.AddLeaf("s", leaf, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := esgrpc.NewServer(clk, nil)
+	p.RegisterRPC(srv)
+
+	var gotGrid GridSnapshot
+	var gotAlerts AlertsReply
+	var gotTraffic TrafficReply
+	var earlyErr, runErr error
+	clk.Run(func() {
+		ln, err := root.Listen("obs:9200")
+		if err != nil {
+			runErr = err
+			return
+		}
+		clk.Go(func() { srv.Serve(ln) })
+
+		cli, err := esgrpc.Dial(clk, console, "obs:9200", nil)
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer cli.Close()
+		// Before the first fold, tel.grid must refuse cleanly.
+		earlyErr = cli.Call("tel.grid", nil, &gotGrid)
+
+		if runErr = p.Start(); runErr != nil {
+			return
+		}
+		clk.Go(func() {
+			clk.Sleep(400 * time.Millisecond)
+			reg.Counter("bytes.total").Add(5e6)
+			reg.LogHist("stage.retr").Observe(0.2)
+		})
+		if runErr = p.Wait(); runErr != nil {
+			return
+		}
+		if runErr = cli.Call("tel.grid", nil, &gotGrid); runErr != nil {
+			return
+		}
+		if runErr = cli.Call("tel.alerts", nil, &gotAlerts); runErr != nil {
+			return
+		}
+		runErr = cli.Call("tel.traffic", nil, &gotTraffic)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if earlyErr == nil || !strings.Contains(earlyErr.Error(), "no grid snapshot") {
+		t.Fatalf("pre-fold tel.grid = %v", earlyErr)
+	}
+	if gotGrid.Tick != 2 || gotGrid.Hosts != 1 || gotGrid.Sites != 1 {
+		t.Fatalf("tel.grid = %+v", gotGrid)
+	}
+	if len(gotAlerts.Alerts) != 0 {
+		t.Fatalf("tel.alerts = %+v", gotAlerts)
+	}
+	if len(gotTraffic.Tiers) != 2 || gotTraffic.Tiers[0].Tier != "t0:leaf" {
+		t.Fatalf("tel.traffic = %+v", gotTraffic)
+	}
+}
+
+func TestRenderGridEmptyAndUnits(t *testing.T) {
+	clk := vtime.NewSim(1)
+	p, err := New(Config{Clock: clk, Ticks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RenderGrid(); !strings.Contains(got, "no snapshot") {
+		t.Fatalf("empty render = %q", got)
+	}
+	for v, want := range map[float64]string{
+		2.5e9: "2.50 Gb/s", 5e6: "5.00 Mb/s", 1.2e3: "1.20 kb/s", 42: "42 b/s",
+	} {
+		if got := fmtBps(v); got != want {
+			t.Errorf("fmtBps(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if k, _, _, err := DecodeTelemetryLine(`{"kind":"alert","alert":{"ts":"x","detector":"d"}}`); err != nil || k != "alert" {
+		t.Fatalf("alert line: %q %v", k, err)
+	}
+}
+
+var _ = monitor.Alert{} // keep the import tied to the reply types

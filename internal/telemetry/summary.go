@@ -1,0 +1,273 @@
+// Package telemetry is the hierarchical observer plane for the ESG
+// reproduction: hosts fold their local netlogger instruments into
+// mergeable summaries on an Epoch-aligned tick grid, site aggregators
+// fold host summaries into site summaries, and a configurable-fanout
+// tree folds sites up to a single grid root. Summaries travel as real
+// simnet messages, so the cost of observing the grid is itself a
+// measured quantity: per-tier frame and byte counts come out of the
+// same accounting as the data path (EXPERIMENTS.md §S16 shows the
+// wide-area observer traffic scaling with sites, not hosts, as the
+// paper's monitoring architecture sketch in §3.4 requires).
+//
+// Determinism contract: a summary fold is bit-exact in any association
+// and order. Histogram state is held in integer nanoseconds
+// (netlogger.HistSnapshot) and counter/gauge sums rely on float64
+// addition being exact for integral magnitudes below 2^53, so the grid
+// root's folded summary — and therefore every encoded snapshot and
+// alert — is byte-identical across tree fanouts and equal-seed runs.
+package telemetry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"esgrid/internal/netlogger"
+)
+
+// Summary is one node's mergeable view of a tick: every counter, gauge
+// and histogram it (or its subtree) owns, plus the number of hosts
+// folded in. Rows are sorted by name; merging is associative and
+// commutative with the zero Summary as identity.
+type Summary struct {
+	Tick  int64 `json:"tick"`  // tick index on the Epoch-aligned grid
+	Hosts int64 `json:"hosts"` // leaves folded into this summary
+	netlogger.RegistrySnapshot
+}
+
+// Clone deep-copies s so the result is independent of the fold storage
+// that produced it.
+func (s Summary) Clone() Summary {
+	out := s
+	out.Counters = append([]netlogger.NamedValue(nil), s.Counters...)
+	out.Gauges = append([]netlogger.NamedGauge(nil), s.Gauges...)
+	out.Hists = make([]netlogger.NamedHist, len(s.Hists))
+	for i, nh := range s.Hists {
+		nh.H.Buckets = append([]netlogger.BucketCount(nil), nh.H.Buckets...)
+		out.Hists[i] = nh
+	}
+	return out
+}
+
+// Counter returns the value of the named counter row, or 0 if absent.
+func (s Summary) Counter(name string) float64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.V
+		}
+	}
+	return 0
+}
+
+// Hist returns the named histogram row and whether it exists.
+func (s Summary) Hist(name string) (netlogger.HistSnapshot, bool) {
+	for _, h := range s.Hists {
+		if h.Name == name {
+			return h.H, true
+		}
+	}
+	return netlogger.HistSnapshot{}, false
+}
+
+// Merge folds two summaries into a fresh one: matching rows merge,
+// unmatched rows pass through, hosts add. It is the allocation-happy
+// reference implementation; the tree's hot path uses Accumulator,
+// whose property tests pin it to this function byte for byte.
+func Merge(a, b Summary) Summary {
+	out := Summary{Tick: a.Tick, Hosts: a.Hosts + b.Hosts}
+	if a.Hosts == 0 && a.Tick == 0 {
+		out.Tick = b.Tick
+	}
+
+	i, j := 0, 0
+	for i < len(a.Counters) || j < len(b.Counters) {
+		switch {
+		case j >= len(b.Counters) || (i < len(a.Counters) && a.Counters[i].Name < b.Counters[j].Name):
+			out.Counters = append(out.Counters, a.Counters[i])
+			i++
+		case i >= len(a.Counters) || b.Counters[j].Name < a.Counters[i].Name:
+			out.Counters = append(out.Counters, b.Counters[j])
+			j++
+		default:
+			out.Counters = append(out.Counters, netlogger.NamedValue{
+				Name: a.Counters[i].Name, V: a.Counters[i].V + b.Counters[j].V,
+			})
+			i, j = i+1, j+1
+		}
+	}
+	i, j = 0, 0
+	for i < len(a.Gauges) || j < len(b.Gauges) {
+		switch {
+		case j >= len(b.Gauges) || (i < len(a.Gauges) && a.Gauges[i].Name < b.Gauges[j].Name):
+			out.Gauges = append(out.Gauges, a.Gauges[i])
+			i++
+		case i >= len(a.Gauges) || b.Gauges[j].Name < a.Gauges[i].Name:
+			out.Gauges = append(out.Gauges, b.Gauges[j])
+			j++
+		default:
+			out.Gauges = append(out.Gauges, netlogger.NamedGauge{
+				Name: a.Gauges[i].Name, G: a.Gauges[i].G.Merge(b.Gauges[j].G),
+			})
+			i, j = i+1, j+1
+		}
+	}
+	i, j = 0, 0
+	for i < len(a.Hists) || j < len(b.Hists) {
+		switch {
+		case j >= len(b.Hists) || (i < len(a.Hists) && a.Hists[i].Name < b.Hists[j].Name):
+			out.Hists = append(out.Hists, a.Hists[i])
+			i++
+		case i >= len(a.Hists) || b.Hists[j].Name < a.Hists[i].Name:
+			out.Hists = append(out.Hists, b.Hists[j])
+			j++
+		default:
+			out.Hists = append(out.Hists, netlogger.NamedHist{
+				Name: a.Hists[i].Name, H: a.Hists[i].H.Merge(b.Hists[j].H),
+			})
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// Accumulator folds child summaries into one without allocating in the
+// steady state. The fast path applies when a child's instrument names
+// align with the accumulated shape — which is every fold after the
+// first once a tree is running, since every host reports the same
+// instrument set tick after tick. Misaligned children fall back to the
+// reference Merge. The result is bit-identical to folding with Merge
+// in the same order (and therefore, by the merge laws, in any order).
+type Accumulator struct {
+	sum   Summary
+	bwork [][]netlogger.BucketCount // per-histogram merge workspace
+	n     int                       // children folded since Reset
+}
+
+// Reset clears the accumulated values while keeping the shape and the
+// storage, so the next round of aligned folds allocates nothing.
+func (a *Accumulator) Reset() {
+	a.sum.Tick, a.sum.Hosts, a.n = 0, 0, 0
+	for i := range a.sum.Counters {
+		a.sum.Counters[i].V = 0
+	}
+	for i := range a.sum.Gauges {
+		a.sum.Gauges[i].G = netlogger.GaugeSummary{}
+	}
+	for i := range a.sum.Hists {
+		h := &a.sum.Hists[i].H
+		*h = netlogger.HistSnapshot{Buckets: h.Buckets[:0]}
+	}
+}
+
+// Add folds one child summary into the accumulator.
+func (a *Accumulator) Add(s Summary) {
+	a.n++
+	a.sum.Tick = s.Tick
+	if !a.aligned(s) {
+		hosts := a.sum.Hosts
+		a.sum = Merge(a.sum, s).Clone()
+		a.sum.Hosts = hosts + s.Hosts
+		a.bwork = make([][]netlogger.BucketCount, len(a.sum.Hists))
+		return
+	}
+	a.sum.Hosts += s.Hosts
+	for i := range s.Counters {
+		a.sum.Counters[i].V += s.Counters[i].V
+	}
+	for i := range s.Gauges {
+		a.sum.Gauges[i].G = a.sum.Gauges[i].G.Merge(s.Gauges[i].G)
+	}
+	for i := range s.Hists {
+		a.sum.Hists[i].H, a.bwork[i] = a.sum.Hists[i].H.MergeInPlace(s.Hists[i].H, a.bwork[i])
+	}
+}
+
+func (a *Accumulator) aligned(s Summary) bool {
+	if len(a.sum.Counters) != len(s.Counters) ||
+		len(a.sum.Gauges) != len(s.Gauges) ||
+		len(a.sum.Hists) != len(s.Hists) {
+		return false
+	}
+	for i := range s.Counters {
+		if a.sum.Counters[i].Name != s.Counters[i].Name {
+			return false
+		}
+	}
+	for i := range s.Gauges {
+		if a.sum.Gauges[i].Name != s.Gauges[i].Name {
+			return false
+		}
+	}
+	for i := range s.Hists {
+		if a.sum.Hists[i].Name != s.Hists[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the accumulated summary. The value shares storage with
+// the accumulator and is only valid until the next Reset or Add;
+// callers that retain it must Clone.
+func (a *Accumulator) Sum() Summary { return a.sum }
+
+// SiteRow is the per-site drill-down the grid root publishes alongside
+// the folded rollup: who is behind the aggregate, and whether any one
+// site is dragging it down.
+type SiteRow struct {
+	Site       string  `json:"site"`
+	Hosts      int64   `json:"hosts"`
+	GoodputBps float64 `json:"goodput_bps"`
+	StageP999s float64 `json:"stage_p999_s"`
+	Status     string  `json:"status"`
+}
+
+// Frame is one telemetry message on the wire: a node's folded summary
+// for a tick, plus the site drill-down rows its subtree covers. Frames
+// are length-prefixed JSON; their encoded size is what the simulated
+// network carries and what the per-tier traffic accounting charges.
+type Frame struct {
+	Node  string    `json:"node"`
+	Tick  int64     `json:"tick"`
+	Sum   Summary   `json:"sum"`
+	Sites []SiteRow `json:"sites,omitempty"`
+}
+
+// maxFrameBytes bounds a decoded frame; a length prefix beyond it means
+// a corrupt or hostile stream.
+const maxFrameBytes = 16 << 20
+
+// EncodeFrame renders f as a 4-byte big-endian length followed by JSON.
+func EncodeFrame(f Frame) ([]byte, error) {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[4:], body)
+	return out, nil
+}
+
+// ReadFrame reads one length-prefixed frame, returning it and the total
+// wire bytes consumed (prefix included).
+func ReadFrame(r io.Reader) (Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return Frame{}, 0, fmt.Errorf("telemetry: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, 0, err
+	}
+	var f Frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return Frame{}, 0, fmt.Errorf("telemetry: bad frame: %w", err)
+	}
+	return f, 4 + int(n), nil
+}

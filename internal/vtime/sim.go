@@ -12,6 +12,22 @@ import (
 // day of the SC'00 exhibition, during which the paper's experiments ran.
 var Epoch = time.Date(2000, time.November, 6, 8, 0, 0, 0, time.UTC)
 
+// NextTick returns the first Epoch-aligned multiple of tick strictly
+// after t. Both the monitor plane and the telemetry aggregation tree
+// sample on this grid: aligning ticks to the Epoch (rather than to
+// whenever a component happened to start) makes tick instants a
+// property of the timeline, so live, replayed, and re-foliated runs
+// agree sample for sample.
+func NextTick(t time.Time, tick time.Duration) time.Time {
+	d := t.Sub(Epoch)
+	steps := d / tick
+	b := Epoch.Add(steps * tick)
+	for !b.After(t) {
+		b = b.Add(tick)
+	}
+	return b
+}
+
 // Sim is a deterministic discrete-event simulated clock.
 //
 // Scheduling model: goroutines started with Go (or the function passed to

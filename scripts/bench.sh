@@ -3,10 +3,10 @@
 # a machine-readable summary (benchmark name -> ns/op, allocs/op) so CI
 # can archive per-PR performance baselines and diffs stay reviewable.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_PR8.json)
+# Usage: scripts/bench.sh [output.json]   (default BENCH_PR9.json)
 set -eu
 cd "$(dirname "$0")/.."
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR9.json}
 
 raw=$(go test -run '^$' -bench . -benchmem -benchtime=1x ./... 2>&1) || {
     printf '%s\n' "$raw"
