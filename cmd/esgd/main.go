@@ -125,7 +125,7 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("esgd: monitor on %s (esgmon -addr)", ml.Addr())
-		go rpc.Serve(ml)
+		vtime.Real{}.Go(func() { rpc.Serve(ml) })
 	}
 	l, err := (transport.Real{}).Listen(*addr)
 	if err != nil {

@@ -1,10 +1,12 @@
 // Command esglint runs the repo's determinism and virtual-time
 // analyzers (internal/lint) over the tree, vet-style:
 //
-//	esglint [-only name,name] [packages]
+//	esglint [-only name,name] [-json] [packages]
 //
 // Patterns default to ./... resolved in the current directory. Exit
 // status is 1 when any diagnostic is reported, 2 on load failure.
+// With -json the report (sorted findings, per-analyzer counts, escape
+// inventory) is machine-readable; CI archives it as an artifact.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (findings, counts, escape inventory)")
 	flag.Parse()
 
 	if *list {
@@ -49,7 +52,13 @@ func main() {
 		}
 	}
 
-	n, err := lint.Run(".", flag.Args(), analyzers, os.Stdout)
+	var n int
+	var err error
+	if *jsonOut {
+		n, err = lint.RunJSON(".", flag.Args(), analyzers, os.Stdout)
+	} else {
+		n, err = lint.Run(".", flag.Args(), analyzers, os.Stdout)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esglint:", err)
 		os.Exit(2)

@@ -2,19 +2,32 @@
 // repo's determinism and virtual-time invariants at vet time instead of
 // by convention. Every headline result — byte-identical equal-seed JSONL
 // exports, replay-seed chaos soaks, life-line traces on the virtual
-// clock — rests on three invariants:
+// clock — rests on invariants in two tiers.
+//
+// Per-file (syntax and types, one package at a time):
 //
 //  1. simulated paths read only the virtual clock (vtimeclock),
 //  2. randomness is explicitly seeded and threaded from config
 //     (seededrand),
 //  3. anything folded into the emitted event stream is canonically
-//     ordered (maprange) and structurally well-formed (emitkv).
+//     ordered (maprange) and structurally well-formed (emitkv),
+//  4. locks are never copied (mutexcopy) and fan task bodies are
+//     effect-free (workershared).
+//
+// Whole-program (interprocedural, propagated through the facts layer in
+// facts.go):
+//
+//  5. no lock is held across a call that may block on virtual time
+//     (vtblock),
+//  6. every goroutine is a managed one Sim.Run can join (managedgo),
+//  7. functions annotated //esglint:hotpath contain no obvious
+//     allocation sources (hotpath).
 //
 // The analyzers are written against a small in-repo kernel whose API
 // deliberately mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
-// Diagnostic, analysistest-style want comments), so that swapping the
-// kernel for the upstream module is a mechanical change; the repo's
-// stdlib-only constraint is kept intact (see DESIGN.md §10).
+// Diagnostic, object facts, analysistest-style want comments), so that
+// swapping the kernel for the upstream module is a mechanical change;
+// the repo's stdlib-only constraint is kept intact (see DESIGN.md §10).
 //
 // Escape hatch: a comment of the form
 //
@@ -23,7 +36,9 @@
 // on the flagged line or the line directly above suppresses the analyzer
 // whose escape is <name> (e.g. //esglint:wallclock real elapsed time for
 // the operator). The reason is mandatory: an escape with no reason does
-// not suppress and is itself reported.
+// not suppress and is itself reported. Escapes that no longer suppress
+// anything are reported by the staleescape audit, so the escape
+// inventory in the tree always matches the set of live exceptions.
 package lint
 
 import (
@@ -32,6 +47,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // An Analyzer describes one static check. The shape mirrors
@@ -45,6 +61,23 @@ type Analyzer struct {
 	// (reason required). Empty means the analyzer has no escape hatch.
 	Escape string
 
+	// SyntaxOnly marks an analyzer that needs parsed files but no type
+	// information. When every selected analyzer is syntax-only the
+	// driver skips `go list -export` and the type-check entirely.
+	SyntaxOnly bool
+
+	// NeedsFacts marks an analyzer that exports or imports object facts
+	// (facts.go). Fact-using analyzers see packages in dependency order,
+	// so imported facts are always complete.
+	NeedsFacts bool
+
+	// Exempt, when non-nil, reports package paths this analyzer
+	// deliberately stays silent in (e.g. vtimeclock inside
+	// internal/vtime, the one package allowed to touch the wall clock).
+	// The staleescape audit consults it so documentation escapes inside
+	// exempt packages are not reported as dead.
+	Exempt func(path string) bool
+
 	// Run reports diagnostics on pass via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -55,10 +88,15 @@ type Pass struct {
 	Path     string // package import path
 	Fset     *token.FileSet
 	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+	Pkg      *types.Package // nil under a syntax-only load
+	Info     *types.Info    // nil under a syntax-only load
 
 	diags *[]Diagnostic
+	facts *factStore
+	// markUsed records that the annotation at (file, line) is load-
+	// bearing even though it suppressed no diagnostic — the hotpath
+	// marker annotations, chiefly — so staleescape keeps quiet about it.
+	markUsed func(file string, line int)
 }
 
 // Reportf records a diagnostic at pos attributed to the running analyzer.
@@ -70,6 +108,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// MarkAnnotationUsed records that the esglint annotation at (file, line)
+// is consumed by this analyzer as a marker rather than a suppression,
+// exempting it from the staleescape audit.
+func (p *Pass) MarkAnnotationUsed(file string, line int) {
+	if p.markUsed != nil {
+		p.markUsed(file, line)
+	}
+}
+
 // A Diagnostic is one finding, attributed to the analyzer that made it.
 type Diagnostic struct {
 	Pos      token.Pos
@@ -77,48 +124,97 @@ type Diagnostic struct {
 	Message  string
 }
 
-// Analyze runs the given analyzers over pkg, applies annotation escapes,
-// and returns the surviving diagnostics in (file, line, column, analyzer)
-// order. Escapes with a missing reason, and esglint annotations that name
-// no known escape, are reported as diagnostics from the pseudo-analyzer
-// "esglint".
+// StaleEscapeAnalyzer names the pseudo-analyzer that attributes the
+// dead-escape audit's diagnostics; like the "esglint" annotation audit
+// it runs inside the driver, not as an entry in All.
+const StaleEscapeAnalyzer = "staleescape"
+
+// Analyze runs the given analyzers over a single package. It is the
+// single-package form of AnalyzeProgram; facts do not cross into or out
+// of the call, so interprocedural analyzers see only local and seeded
+// knowledge. The fixture harness and single-package tests use it.
 func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	anns := collectAnnotations(pkg.Fset, pkg.Files)
+	return AnalyzeProgram([]*Package{pkg}, analyzers)
+}
+
+// AnalyzeProgram runs the analyzers over every package, propagating
+// facts across package boundaries, and returns the surviving
+// diagnostics in (file, line, column, analyzer) order.
+//
+// Determinism: packages are visited in topologically sorted import
+// order with lexicographic tie-breaks, so fact propagation — and with
+// it every diagnostic — is a pure function of the source tree,
+// independent of the order pkgs arrived in (the property
+// TestFactPropagationOrderIndependent pins).
+//
+// Beyond the analyzers' own findings the driver reports, from
+// pseudo-analyzers:
+//
+//   - "esglint": escapes with a missing reason, and annotations naming
+//     no known escape;
+//   - "staleescape": escapes that suppressed no diagnostic of their
+//     analyzer anywhere in the program (dead escapes rot the audit
+//     trail). Only audited when the owning analyzer actually ran and
+//     does not exempt the package.
+func AnalyzeProgram(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	ordered := topoSortPackages(pkgs)
+
+	facts := newFactStore()
+	used := map[annKey]bool{}
+	markUsed := func(file string, line int) { used[annKey{file, line}] = true }
+
+	type pkgAnns struct {
+		path string
+		anns map[string]map[int]annotation
+	}
+	var allAnns []pkgAnns
 
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Path:     pkg.Path,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &diags,
+	for _, pkg := range ordered {
+		anns := collectAnnotations(pkg.Fset, pkg.Files)
+		allAnns = append(allAnns, pkgAnns{pkg.Path, anns})
+
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if pkg.Info == nil && !a.SyntaxOnly {
+				return nil, fmt.Errorf("%s: %s: analyzer needs type information but the load was syntax-only", a.Name, pkg.Path)
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &pkgDiags,
+				markUsed: markUsed,
+			}
+			if a.NeedsFacts {
+				pass.facts = facts
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
-		}
+
+		pkgDiags = suppress(pkg.Fset, pkgDiags, analyzers, anns, used)
+		pkgDiags = append(pkgDiags, auditAnnotations(anns, analyzers)...)
+		diags = append(diags, pkgDiags...)
 	}
 
-	diags = suppress(pkg.Fset, diags, analyzers, anns)
-	diags = append(diags, auditAnnotations(anns, analyzers)...)
+	for _, pa := range allAnns {
+		diags = append(diags, staleEscapes(pa.path, pa.anns, analyzers, used)...)
+	}
 
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
-		if pi.Filename != pj.Filename {
-			return pi.Filename < pj.Filename
-		}
-		if pi.Line != pj.Line {
-			return pi.Line < pj.Line
-		}
-		if pi.Column != pj.Column {
-			return pi.Column < pj.Column
-		}
-		if diags[i].Analyzer != diags[j].Analyzer {
-			return diags[i].Analyzer < diags[j].Analyzer
-		}
-		return diags[i].Message < diags[j].Message
-	})
+	sort.Slice(diags, func(i, j int) bool { return positionLess(fset, diags[i], diags[j]) })
 	return diags, nil
+}
+
+// isVtimePath matches the real clock package and its fixture twin.
+func isVtimePath(path string) bool {
+	return path == "internal/vtime" || strings.HasSuffix(path, "/internal/vtime")
 }

@@ -32,26 +32,60 @@ type testingT interface {
 // srcRoot/src/<path>.
 func RunAnalyzer(t testingT, srcRoot, path string, a *Analyzer) {
 	t.Helper()
-	pkg, err := loadTestdata(srcRoot, path)
+	RunAnalyzers(t, srcRoot, path, []*Analyzer{a})
+}
+
+// RunAnalyzers checks the analyzers — run together as one program, so
+// facts propagate between them and across fixture packages — against
+// the fixture package at srcRoot/src/<path>. Fixture-tree imports are
+// loaded and analyzed too (dependencies first, so their facts are
+// available), but want-comments are only diffed for the target package.
+func RunAnalyzers(t testingT, srcRoot, path string, as []*Analyzer) {
+	t.Helper()
+	pkgs, err := loadTestdataProgram(srcRoot, path)
 	if err != nil {
 		t.Fatalf("loading testdata package %s: %v", path, err)
 	}
-	diags, err := Analyze(pkg, []*Analyzer{a})
+	target := pkgs[len(pkgs)-1]
+	diags, err := AnalyzeProgram(pkgs, as)
 	if err != nil {
 		t.Fatalf("analyzing %s: %v", path, err)
 	}
-	checkWants(t, pkg, diags)
+	targetFiles := map[string]bool{}
+	for _, f := range target.Files {
+		targetFiles[target.Fset.Position(f.Pos()).Filename] = true
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if targetFiles[target.Fset.Position(d.Pos).Filename] {
+			kept = append(kept, d)
+		}
+	}
+	checkWants(t, target, kept)
 }
 
 // loadTestdata loads srcRoot/src/<path> as a type-checked package.
 // Imports that exist under srcRoot/src are loaded (recursively) from the
 // fixture tree; all other imports resolve through export data.
 func loadTestdata(srcRoot, path string) (*Package, error) {
+	pkgs, err := loadTestdataProgram(srcRoot, path)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[len(pkgs)-1], nil
+}
+
+// loadTestdataProgram loads srcRoot/src/<path> plus every fixture-tree
+// package it (transitively) imports, dependencies first, target last.
+func loadTestdataProgram(srcRoot, path string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := newExportImporter(fset, nil)
 	imp.srcRoot = srcRoot
 	imp.fset = fset
-	return imp.loadLocal(path)
+	if _, err := imp.loadLocal(path); err != nil {
+		return nil, err
+	}
+	return imp.localPkgs, nil
 }
 
 // loadLocal parses and type-checks one fixture package, memoizing it so
@@ -97,6 +131,7 @@ func (im *exportImporter) loadLocal(path string) (*Package, error) {
 		return nil, err
 	}
 	im.local[path] = pkg.Types
+	im.localPkgs = append(im.localPkgs, pkg)
 	return pkg, nil
 }
 

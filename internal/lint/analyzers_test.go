@@ -58,6 +58,38 @@ func TestMutexCopy(t *testing.T) {
 	RunAnalyzer(t, "testdata", "mutexcopy", MutexCopy)
 }
 
+func TestVTBlock(t *testing.T) {
+	// vtheld imports vtdeps imports the vtime twin: the harness analyzes
+	// all three as one program, so the cross-package want exercises real
+	// fact propagation.
+	RunAnalyzer(t, "testdata", "vtheld", VTBlock)
+}
+
+func TestVTBlockExemptsVtime(t *testing.T) {
+	// The twin's own bodies are the blocking machinery; facts are
+	// computed there but no lock checks run.
+	RunAnalyzer(t, "testdata", "esgrid/internal/vtime", VTBlock)
+}
+
+func TestManagedGo(t *testing.T) {
+	RunAnalyzer(t, "testdata", "spawngo", ManagedGo)
+}
+
+func TestManagedGoExemptsVtime(t *testing.T) {
+	// Sim.Go and WaitGroup.Go contain the sanctioned bare go statements.
+	RunAnalyzer(t, "testdata", "esgrid/internal/vtime", ManagedGo)
+}
+
+func TestHotPath(t *testing.T) {
+	// VTBlock runs first so its SpawnsGoroutine facts reach hotpath's
+	// transitive-spawn check (the kickTwice fixture).
+	RunAnalyzers(t, "testdata", "hotpaths", []*Analyzer{VTBlock, HotPath})
+}
+
+func TestStaleEscape(t *testing.T) {
+	RunAnalyzer(t, "testdata", "stalefix", VTimeClock)
+}
+
 func TestWorkerShared(t *testing.T) {
 	RunAnalyzer(t, "testdata", "workershared", WorkerShared)
 }

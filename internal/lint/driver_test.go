@@ -2,15 +2,19 @@ package lint
 
 import (
 	"bytes"
+	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 )
 
 // TestDriverCatchesInjectedViolations runs the full suite over the
-// fixture module at testdata/mod, which deliberately violates each of
-// the five invariants once: a wall-clock read, a global rand.Intn, an
-// odd-arity Emit, an unsorted map-range on an ordered-output path, and
-// a copied mutex. Each must be caught and attributed by analyzer name.
+// fixture module at testdata/mod, which deliberately violates each
+// invariant once: a wall-clock read, a global rand.Intn, an odd-arity
+// Emit, an unsorted map-range on an ordered-output path, a copied
+// mutex, a lock held across a virtual-time block, a bare goroutine
+// spawn, an allocating hot path, and a dead escape. Each must be caught
+// and attributed by analyzer name.
 func TestDriverCatchesInjectedViolations(t *testing.T) {
 	var buf bytes.Buffer
 	n, err := Run("testdata/mod", nil, All, &buf)
@@ -26,6 +30,10 @@ func TestDriverCatchesInjectedViolations(t *testing.T) {
 		{"internal/monitor/fold.go", "(emitkv)"},
 		{"internal/monitor/fold.go", "(maprange)"},
 		{"locks/locks.go", "(mutexcopy)"},
+		{"held/held.go", "(vtblock)"},
+		{"held/held.go", "(managedgo)"},
+		{"held/held.go", "(hotpath)"},
+		{"held/held.go", "(staleescape)"},
 		// The reasonless escape in clocks.go is itself a finding.
 		{"clocks/clocks.go", "(esglint)"},
 	}
@@ -43,13 +51,18 @@ func TestDriverCatchesInjectedViolations(t *testing.T) {
 	}
 
 	// WallClock and MissingReason are unsuppressed (2 vtimeclock), plus
-	// seededrand, emitkv, maprange, mutexcopy, and the esglint
-	// annotation audit: 7 findings. Annotated() must stay suppressed.
-	if n != 7 {
-		t.Errorf("Run reported %d findings, want 7", n)
+	// seededrand, emitkv, maprange, mutexcopy, vtblock, managedgo,
+	// hotpath, staleescape, and the esglint annotation audit: 11
+	// findings. Annotated() must stay suppressed, and the fixture vtime
+	// twin (wall sleep, bare go) must stay exempt.
+	if n != 11 {
+		t.Errorf("Run reported %d findings, want 11", n)
 	}
 	if strings.Contains(out, "clean/clean.go") {
 		t.Errorf("clean package was flagged:\n%s", out)
+	}
+	if strings.Contains(out, "internal/vtime/vt.go") {
+		t.Errorf("vtime twin was flagged despite exemptions:\n%s", out)
 	}
 	if strings.Contains(out, "clocks.go:15") {
 		t.Errorf("escape with reason was not suppressed:\n%s", out)
@@ -88,5 +101,96 @@ func TestDriverBadPattern(t *testing.T) {
 func TestLoadPackagesTypeError(t *testing.T) {
 	if _, err := loadTestdata("testdata", "no-such-fixture"); err == nil {
 		t.Fatal("loadTestdata succeeded on a missing fixture package")
+	}
+}
+
+// TestDriverSyntaxOnlySelection proves an -only selection of purely
+// syntactic analyzers runs from parse alone: the syntax loader leaves
+// Info nil, yet managedgo still catches the injected bare spawn.
+func TestDriverSyntaxOnlySelection(t *testing.T) {
+	pkgs, err := LoadPackagesSyntax("testdata/mod", "./...")
+	if err != nil {
+		t.Fatalf("LoadPackagesSyntax: %v", err)
+	}
+	for _, p := range pkgs {
+		if p.Info != nil || p.Types != nil {
+			t.Fatalf("syntax load type-checked %s", p.Path)
+		}
+	}
+
+	var buf bytes.Buffer
+	n, err := Run("testdata/mod", nil, []*Analyzer{ManagedGo}, &buf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 1 || !strings.Contains(buf.String(), "held/held.go") {
+		t.Errorf("managedgo-only run reported %d finding(s), want the held.go spawn:\n%s", n, buf.String())
+	}
+}
+
+// TestAnalyzeProgramRejectsSyntaxLoadForTypedAnalyzer pins the error
+// path: a type-needing analyzer over a syntax-only load must fail
+// loudly, not silently skip.
+func TestAnalyzeProgramRejectsSyntaxLoadForTypedAnalyzer(t *testing.T) {
+	pkgs, err := LoadPackagesSyntax("testdata/mod", "./clean")
+	if err != nil {
+		t.Fatalf("LoadPackagesSyntax: %v", err)
+	}
+	if _, err := AnalyzeProgram(pkgs, []*Analyzer{VTimeClock}); err == nil {
+		t.Fatal("AnalyzeProgram accepted a typed analyzer over a syntax-only load")
+	}
+}
+
+// TestRunJSON pins the machine-readable report: deterministic across
+// runs, findings sorted, per-analyzer counts consistent with the text
+// driver, and the escape inventory counting well-formed escapes.
+func TestRunJSON(t *testing.T) {
+	var buf1, buf2 bytes.Buffer
+	n1, err := RunJSON("testdata/mod", nil, All, &buf1)
+	if err != nil {
+		t.Fatalf("RunJSON: %v", err)
+	}
+	if _, err := RunJSON("testdata/mod", nil, All, &buf2); err != nil {
+		t.Fatalf("RunJSON (second): %v", err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Errorf("RunJSON output differs between runs:\n%s\n---\n%s", buf1.String(), buf2.String())
+	}
+
+	var report JSONReport
+	if err := json.Unmarshal(buf1.Bytes(), &report); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if len(report.Findings) != n1 {
+		t.Errorf("report has %d findings, Run returned %d", len(report.Findings), n1)
+	}
+	total := 0
+	for _, c := range report.Counts {
+		total += c
+	}
+	if total != n1 {
+		t.Errorf("per-analyzer counts sum to %d, want %d", total, n1)
+	}
+	if !sort.SliceIsSorted(report.Findings, func(i, j int) bool {
+		a, b := report.Findings[i], report.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	}) {
+		t.Errorf("findings are not sorted: %+v", report.Findings)
+	}
+	// clocks.go carries one well-formed wallclock escape (Annotated);
+	// the reasonless one must not be inventoried.
+	if report.Escapes["wallclock"] != 1 {
+		t.Errorf("escape inventory: wallclock = %d, want 1 (got %v)", report.Escapes["wallclock"], report.Escapes)
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer == "vtblock" && !strings.Contains(f.Message, "may block on virtual time") {
+			t.Errorf("vtblock finding lost its message: %+v", f)
+		}
 	}
 }

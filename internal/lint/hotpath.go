@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath polices the allocation-free contract on the paths the
+// benchmarks pin at 0 allocs/op: functions annotated
+//
+//	//esglint:hotpath <why this function is hot>
+//
+// on (or directly above) their declaration line are rejected if their
+// bodies contain an obvious allocation source:
+//
+//   - a func literal capturing enclosing variables (the capture forces
+//     a heap-allocated closure);
+//   - an implicit interface conversion at a call argument, or an
+//     explicit one (boxing allocates for non-pointer values —
+//     fmt.Sprintf on an int is the classic regression);
+//   - append (growth reallocates the backing array unless capacity was
+//     preallocated — and preallocation is invisible flow-insensitively,
+//     so the annotation's escape form documents it);
+//   - non-constant string concatenation;
+//   - map literals and make(map);
+//   - a call that (transitively, via the SpawnsGoroutine fact vtblock
+//     exports) starts a goroutine — a new stack is the largest
+//     allocation of all.
+//
+// The same //esglint:hotpath annotation doubles as the escape: on a
+// declaration it marks the function hot (reason = why it is hot), on a
+// flagged line inside a hot function it suppresses that one finding
+// (reason = why the allocation is amortized or provably off the steady
+// state). The AllocsPerRun guards in the benchmarks prove the contract
+// dynamically; this analyzer catches the regression at vet time, before
+// a benchmark has to run.
+var HotPath = &Analyzer{
+	Name:       "hotpath",
+	Doc:        "reject obvious allocation sources in //esglint:hotpath-annotated functions",
+	Escape:     "hotpath",
+	NeedsFacts: true,
+	Run:        runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	anns := collectAnnotations(pass.Fset, pass.Files)
+	for _, fd := range packageFuncs(pass) {
+		pos := pass.Fset.Position(fd.decl.Pos())
+		var marker *annotation
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			if a, ok := anns[pos.Filename][line]; ok && a.Name == "hotpath" && a.Reason != "" {
+				marker = &a
+				break
+			}
+		}
+		if marker == nil {
+			continue
+		}
+		// The declaration marker is consumed here, not by suppression;
+		// tell the staleescape audit it is load-bearing.
+		pass.MarkAnnotationUsed(marker.File, marker.Line)
+		checkHotBody(pass, fd)
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fd funcDecl) {
+	name := fd.fn.Name()
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, n, fd.decl); capt != "" {
+				pass.Reportf(n.Pos(),
+					"hotpath %s: closure captures %s and allocates; hoist the state or annotate //esglint:hotpath <reason>",
+					name, capt)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				pass.Reportf(n.Pos(),
+					"hotpath %s: string concatenation allocates; preformat outside the hot path or annotate //esglint:hotpath <reason>", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				pass.Reportf(n.Pos(),
+					"hotpath %s: string concatenation allocates; preformat outside the hot path or annotate //esglint:hotpath <reason>", name)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[ast.Expr(n)]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"hotpath %s: map literal allocates; hoist the map or annotate //esglint:hotpath <reason>", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.Reportf(call.Pos(),
+					"hotpath %s: append may grow its backing array; preallocate capacity outside the hot path or annotate //esglint:hotpath <reason>", name)
+			case "make":
+				if len(call.Args) > 0 {
+					if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.Type != nil {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(call.Pos(),
+								"hotpath %s: make(map) allocates; hoist the map or annotate //esglint:hotpath <reason>", name)
+						}
+					}
+				}
+			}
+			return
+		}
+	}
+
+	fn := calleeFunc(pass, call)
+	if fn != nil {
+		if via, ok := spawnSeed(fn); ok {
+			pass.Reportf(call.Pos(),
+				"hotpath %s: call to %s spawns a goroutine (via %s); hot paths must not spawn or annotate //esglint:hotpath <reason>",
+				name, callName(fn), via)
+		} else {
+			var f SpawnsGoroutine
+			if pass.ImportObjectFact(fn, &f) {
+				pass.Reportf(call.Pos(),
+					"hotpath %s: call to %s spawns a goroutine (via %s); hot paths must not spawn or annotate //esglint:hotpath <reason>",
+					name, callName(fn), f.Via)
+			}
+		}
+	}
+
+	// Implicit interface conversions at argument positions: a concrete
+	// value passed where the parameter is an interface is boxed.
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		// Explicit conversion T(x) with T an interface type.
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			if types.IsInterface(tv.Type) && len(call.Args) == 1 && isConcreteValue(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"hotpath %s: conversion to interface %s boxes its operand; keep hot-path values concrete or annotate //esglint:hotpath <reason>",
+					name, tv.Type)
+			}
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case sig.Variadic() && i == params.Len()-1:
+			pt = params.At(i).Type() // kv... forwarding: slice to slice, no box
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if isConcreteValue(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"hotpath %s: argument is converted to interface %s (boxing allocates); keep hot-path values concrete or annotate //esglint:hotpath <reason>",
+				name, pt)
+		}
+	}
+}
+
+// calleeSignature resolves the called function's signature, or nil when
+// call is not a function call (conversion, builtin).
+func calleeSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// isConcreteValue reports whether e has a concrete (non-interface,
+// non-nil) static type, i.e. passing it to an interface parameter boxes
+// it. Pointer-typed and constant-free checks are deliberately not
+// attempted: a *T in an interface still allocates the itab-carrying
+// word pair only when escaping, but on a hot path the conservative
+// answer is the useful one.
+func isConcreteValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !types.IsInterface(tv.Type)
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isNonConstString reports whether e is a string-typed expression not
+// folded to a constant (constant concatenation happens at compile time).
+func isNonConstString(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// capturedVar returns the name of one variable lit captures from its
+// enclosing function, or "" if the literal is capture-free (the
+// compiler backs capture-free literals with a static func value).
+func capturedVar(pass *Pass, lit *ast.FuncLit, encl *ast.FuncDecl) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared inside the enclosing function but
+		// outside the literal. Package-level vars are shared, not
+		// captured; the literal's own params/locals are its frame.
+		if v.Pos() >= encl.Pos() && v.Pos() < encl.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			found = v.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}

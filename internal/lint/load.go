@@ -41,10 +41,26 @@ type listPkg struct {
 // main module's packages from source while importing every dependency
 // (stdlib included) from export data — no network, no GOPATH layout.
 func goList(dir string, patterns []string) ([]listPkg, error) {
-	args := append([]string{
+	return goListArgs(dir, []string{
 		"list", "-export", "-deps",
 		"-json=ImportPath,Dir,GoFiles,Export,Standard,Name",
-	}, patterns...)
+	}, patterns)
+}
+
+// goListSyntax is goList without -export and -deps: pattern resolution
+// and file discovery only, no compilation of dependencies. The
+// syntax-only load path uses it, which is what makes `esglint -only
+// managedgo` start in milliseconds instead of paying a full
+// build-cache-priming `go list -export` run.
+func goListSyntax(dir string, patterns []string) ([]listPkg, error) {
+	return goListArgs(dir, []string{
+		"list",
+		"-json=ImportPath,Dir,GoFiles,Standard,Name",
+	}, patterns)
+}
+
+func goListArgs(dir string, base, patterns []string) ([]listPkg, error) {
+	args := append(base, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -77,8 +93,9 @@ type exportImporter struct {
 	exports map[string]string // import path -> export data file
 
 	// Set by the analysistest harness only.
-	srcRoot string
-	fset    *token.FileSet
+	srcRoot   string
+	fset      *token.FileSet
+	localPkgs []*Package // fixture packages in load order (deps before dependents)
 }
 
 func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
@@ -149,6 +166,35 @@ func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
 		// identity per path across the load.
 		imp.local[p.ImportPath] = pkg.Types
 		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadPackagesSyntax loads the non-stdlib packages matched by patterns
+// parsed but not type-checked: Types and Info are nil. It never
+// compiles anything — no `go list -export`, no dependency walk — so a
+// selection of purely syntactic analyzers (Analyzer.SyntaxOnly) starts
+// without priming the build cache.
+func LoadPackagesSyntax(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goListSyntax(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range pkgs {
+		if p.Standard {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files})
 	}
 	return out, nil
 }

@@ -1,0 +1,12 @@
+// Fixture vtime twin for the driver test: the blocking seed and the
+// managed-spawn helper live here, exempt from the path-scoped analyzers
+// (vtimeclock, managedgo, vtblock) like the real package.
+package vtime
+
+import "time"
+
+type Sim struct{}
+
+func (s *Sim) Sleep(d time.Duration) { time.Sleep(d) }
+
+func (s *Sim) Go(fn func()) { go fn() }

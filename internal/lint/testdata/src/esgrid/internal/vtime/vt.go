@@ -1,5 +1,8 @@
 // Fixture standing in for the real internal/vtime: the one package where
-// the wall clock may be read, so vtimeclock must stay silent here.
+// the wall clock may be read (vtimeclock), where bare go statements are
+// the sanctioned spawn implementation (managedgo), and whose blocking
+// primitives — matched by name and path, exactly like the real package —
+// seed the vtblock facts layer.
 package vtime
 
 import "time"
@@ -7,3 +10,47 @@ import "time"
 func RealNow() time.Time { return time.Now() }
 
 func RealSleep(d time.Duration) { time.Sleep(d) }
+
+// Sim is the simulated clock twin: its method names are the blocking
+// and spawning seeds the interprocedural analyzers root their facts at.
+type Sim struct{}
+
+// Sleep suspends the caller on virtual time (blocking seed).
+func (s *Sim) Sleep(d time.Duration) {}
+
+// SleepSite is Sleep with site attribution (blocking seed).
+func (s *Sim) SleepSite(d time.Duration, site int) {}
+
+// Run joins managed goroutines before returning (blocking seed).
+func (s *Sim) Run(fn func()) {}
+
+// Fan barriers on the worker pool (blocking seed).
+func (s *Sim) Fan(tasks int, r Runner) {}
+
+// Go starts a managed goroutine (spawn seed); the bare go statement in
+// its body is the sanctioned implementation managedgo exempts.
+func (s *Sim) Go(fn func()) { go fn() }
+
+// Runner is the fan-out work interface.
+type Runner interface {
+	RunTask(task, worker int)
+}
+
+// Cond is the condition-variable twin. Wait and WaitTimeout are
+// blocking seeds, but vtblock exempts them when called with a lock held:
+// the cond releases its locker before parking.
+type Cond struct{}
+
+func (c *Cond) Wait() {}
+
+func (c *Cond) WaitTimeout(d time.Duration) bool { return true }
+
+func (c *Cond) Broadcast() {}
+
+// WaitGroup is the managed-spawn wait group twin. Wait is a blocking
+// seed with no cond exemption; Go is a spawn seed.
+type WaitGroup struct{}
+
+func (w *WaitGroup) Wait() {}
+
+func (w *WaitGroup) Go(fn func()) { go fn() }

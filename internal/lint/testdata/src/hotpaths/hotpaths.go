@@ -1,0 +1,96 @@
+// Package hotpaths exercises hotpath: functions marked
+// //esglint:hotpath <reason> must contain no obvious allocation source.
+// Unannotated functions are never checked, and a second //esglint:hotpath
+// on a flagged line inside a hot function suppresses that one finding.
+package hotpaths
+
+import "esgrid/internal/vtime"
+
+type Ring struct {
+	buf  []int64
+	n    int
+	emit func(int64)
+}
+
+//esglint:hotpath fixture: the fast path the benchmarks pin at 0 allocs/op
+func (r *Ring) Put(v int64) {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+}
+
+//esglint:hotpath fixture: closure capture
+func (r *Ring) Each(v int64) {
+	f := func() { r.emit(v) } // want `closure captures`
+	f()
+}
+
+//esglint:hotpath fixture: string concatenation
+func label(name string, id string) string {
+	return name + id // want `string concatenation allocates`
+}
+
+//esglint:hotpath fixture: string append
+func join(parts []string) string {
+	var s string
+	for _, p := range parts {
+		s += p // want `string concatenation allocates`
+	}
+	return s
+}
+
+//esglint:hotpath fixture: map literal
+func tags() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//esglint:hotpath fixture: make map
+func index(n int) map[int]int {
+	return make(map[int]int, n) // want `make\(map\) allocates`
+}
+
+//esglint:hotpath fixture: append growth
+func (r *Ring) Grow(v int64) {
+	r.buf = append(r.buf, v) // want `append may grow its backing array`
+}
+
+//esglint:hotpath fixture: amortized growth is escaped, not flagged
+func (r *Ring) GrowAmortized(v int64) {
+	r.buf = append(r.buf, v) //esglint:hotpath fixture: grows to the high-water mark once, then reuses
+}
+
+func sink(v any) {}
+
+//esglint:hotpath fixture: implicit interface boxing at a call argument
+func record(v int64) {
+	sink(v) // want `converted to interface`
+}
+
+//esglint:hotpath fixture: explicit interface conversion
+func box(v int64) any {
+	return any(v) // want `conversion to interface`
+}
+
+//esglint:hotpath fixture: direct spawn
+func kick(clk *vtime.Sim) {
+	clk.Go(work) // want `spawns a goroutine`
+}
+
+// spawnHelper spawns one call below the hot function; vtblock's
+// SpawnsGoroutine fact carries the knowledge to hotpath.
+func spawnHelper(clk *vtime.Sim) {
+	clk.Go(work)
+}
+
+//esglint:hotpath fixture: transitive spawn via the facts layer
+func kickTwice(clk *vtime.Sim) {
+	spawnHelper(clk) // want `spawns a goroutine`
+}
+
+func work() {}
+
+// cold is unannotated: none of the allocation checks apply.
+func cold() map[string]int {
+	m := map[string]int{"x": 1}
+	m["y"] = len(join([]string{"a", "b"}))
+	return m
+}

@@ -1,0 +1,31 @@
+// Package spawngo exercises managedgo: bare go statements are findings
+// outside internal/vtime; spawning through the managed helpers or
+// carrying an audited escape is not.
+package spawngo
+
+import "esgrid/internal/vtime"
+
+func work() {}
+
+func bare() {
+	go work() // want `bare go statement`
+}
+
+func bareLiteral(n int) {
+	go func() { // want `bare go statement`
+		_ = n * 2
+	}()
+}
+
+func managed(clk *vtime.Sim) {
+	clk.Go(work)
+}
+
+func managedGroup(wg *vtime.WaitGroup) {
+	wg.Go(work)
+}
+
+func escaped() {
+	//esglint:managedgo fixture: detached operator-facing helper on a real-time-only path
+	go work()
+}

@@ -1,0 +1,16 @@
+// Package stalefix exercises the staleescape audit: a well-formed
+// escape that suppresses nothing is dead and must be deleted; a
+// load-bearing one stays quiet.
+package stalefix
+
+import "time"
+
+// Span never reads the clock, so its escape is dead.
+func Span(d time.Duration) time.Duration {
+	return d * 2 //esglint:wallclock fixture: stale, duration arithmetic never read the clock // want `esglint:wallclock escape suppresses nothing`
+}
+
+// Now genuinely reads the wall clock; its escape is load-bearing.
+func Now() time.Time {
+	return time.Now() //esglint:wallclock fixture: operator-facing timestamp
+}

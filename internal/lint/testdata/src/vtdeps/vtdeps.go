@@ -1,0 +1,21 @@
+// Package vtdeps wraps the vtime twin behind an extra package boundary,
+// so the vtheld fixture can prove MayBlock facts propagate across
+// packages (not just across functions within one).
+package vtdeps
+
+import (
+	"time"
+
+	"esgrid/internal/vtime"
+)
+
+var clk vtime.Sim
+
+// Fetch simulates a remote read: it parks on virtual time, so the
+// facts layer must export MayBlock for it.
+func Fetch(d time.Duration) {
+	clk.Sleep(d)
+}
+
+// Peek never blocks.
+func Peek() int { return 0 }

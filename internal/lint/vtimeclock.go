@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // VTimeClock forbids wall-clock reads and timers on simulated paths.
@@ -18,6 +17,7 @@ var VTimeClock = &Analyzer{
 	Name:   "vtimeclock",
 	Doc:    "forbid time.Now/Sleep/After/Since/Tick/NewTimer/NewTicker outside internal/vtime",
 	Escape: "wallclock",
+	Exempt: isVtimePath,
 	Run:    runVTimeClock,
 }
 
@@ -36,7 +36,7 @@ var wallClockFuncs = map[string]bool{
 }
 
 func runVTimeClock(pass *Pass) error {
-	if strings.HasSuffix(pass.Path, "internal/vtime") {
+	if pass.Analyzer.Exempt(pass.Path) {
 		return nil
 	}
 	for _, f := range pass.Files {

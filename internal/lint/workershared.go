@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // WorkerShared polices the vtime.Runner contract (DESIGN.md §13): a
@@ -119,11 +118,6 @@ func checkTaskBody(pass *Pass, body *ast.BlockStmt) {
 		}
 		return true
 	})
-}
-
-// isVtimePath matches the real clock package and its fixture twin.
-func isVtimePath(path string) bool {
-	return path == "internal/vtime" || strings.HasSuffix(path, "/internal/vtime")
 }
 
 func reportTaskEffect(pass *Pass, pos token.Pos, what string) {

@@ -51,6 +51,8 @@ type parRunner struct{ n *Net }
 // worker. Effect-free: folds are flow-local, results land in the
 // task's disjoint parRates window, and the lane's own allocScratch
 // absorbs all allocator state.
+//
+//esglint:hotpath parallel-flush worker body; every component rate solve runs here
 func (pr *parRunner) RunTask(task, worker int) {
 	n := pr.n
 	lo, hi := n.parComps[task], n.parComps[task+1]
@@ -118,6 +120,8 @@ func (n *Net) gatherComponentLocked(seed *flow, buf []*flow) []*flow {
 // instant qualifies; it reports false (having consumed nothing) when
 // the flush must take the sequential path. Caller holds Net.mu and has
 // already bumped the visit epoch.
+//
+//esglint:hotpath gather/fan/merge for every dirty flush instant, the highest-frequency path in simnet
 func (n *Net) tryParallelFlushLocked(now time.Duration) bool {
 	w := n.clk.Workers()
 	if w < 2 {
@@ -136,6 +140,7 @@ func (n *Net) tryParallelFlushLocked(now time.Duration) bool {
 		if f.removed || !f.active || f.epoch == n.epoch {
 			continue
 		}
+		//esglint:hotpath comps reuses n.parComps' backing array; it grows only to the component-count high-water mark, then never again
 		comps = append(comps, int32(len(buf)))
 		buf = n.gatherComponentLocked(f, buf)
 	}
@@ -143,11 +148,13 @@ func (n *Net) tryParallelFlushLocked(now time.Duration) bool {
 		r.dirty = false
 		for _, e := range r.flows {
 			if e.f.epoch != n.epoch {
+				//esglint:hotpath comps reuses n.parComps' backing array; it grows only to the component-count high-water mark, then never again
 				comps = append(comps, int32(len(buf)))
 				buf = n.gatherComponentLocked(e.f, buf)
 			}
 		}
 	}
+	//esglint:hotpath comps reuses n.parComps' backing array; it grows only to the component-count high-water mark, then never again
 	comps = append(comps, int32(len(buf)))
 	n.parComps = comps
 	n.parFlows = buf
@@ -160,6 +167,7 @@ func (n *Net) tryParallelFlushLocked(now time.Duration) bool {
 	}
 	n.parRates = n.parRates[:len(buf)]
 	for len(n.parScr) < w {
+		//esglint:hotpath parScr grows to the worker count once, then is reused for the life of the Net
 		n.parScr = append(n.parScr, &allocScratch{})
 	}
 	n.parNow = now
@@ -168,6 +176,7 @@ func (n *Net) tryParallelFlushLocked(now time.Duration) bool {
 	// or has no cross-lane parallelism to exploit.
 	if ncomp >= 2 && len(buf) >= parMinFlows {
 		n.parFlushes++
+		//esglint:hotpath &parRun points into long-lived Net state; boxing a pointer fills the interface word without allocating
 		n.clk.Fan(ncomp, &n.parRun)
 	} else {
 		n.seqFlushes++

@@ -283,7 +283,7 @@ func (p *Plane) Start() error {
 		return errors.New("telemetry: no sites")
 	}
 	siteNames := make([]string, 0, len(p.sites))
-	for name := range p.sites { //esglint:unordered — sorted below
+	for name := range p.sites {
 		siteNames = append(siteNames, name)
 	}
 	sort.Strings(siteNames)

@@ -152,6 +152,8 @@ func (s *Sim) Workers() int {
 // an in-order loop on the calling goroutine, which is also the
 // reference semantics the parallel path must reproduce. Writes made by
 // task bodies are visible to the caller on return.
+//
+//esglint:hotpath per-instant fan-out barrier; runs once per dirty instant on the flush path
 func (s *Sim) Fan(tasks int, r Runner) {
 	p := s.pool
 	if p == nil || tasks <= 1 {
